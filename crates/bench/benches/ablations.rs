@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! injector implementation (patched hypercall vs debug stub), the
+//! exhaustive PV-invariant audit, and event-channel delivery.
+
+use bench::attack_world;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hvsim::{EventChannelOp, XenVersion};
+use intrusion_core::{ArbitraryAccessInjector, DebugStubInjector, ErroneousStateSpec, Injector};
+
+/// Hypercall injector vs debug-stub injector for the same erroneous
+/// state — the intrusiveness-vs-mechanism tradeoff of §IX-D, measured.
+fn bench_injector_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/injector_impl");
+    let spec = |world: &guestos::World| ErroneousStateSpec::OverwriteIdtGate {
+        cpu: 0,
+        vector: 99,
+        value: world.hv().version() as u64 + 0x4141,
+    };
+    group.bench_function("arbitrary_access_hypercall", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_13, true),
+            |(mut world, attacker)| {
+                let s = spec(&world);
+                ArbitraryAccessInjector.inject(&mut world, attacker, &s).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("debug_stub", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_13, false),
+            |(mut world, attacker)| {
+                let s = spec(&world);
+                DebugStubInjector.inject(&mut world, attacker, &s).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// The exhaustive PV-invariant audit: the price of the "detect latent
+/// erroneous states" monitor.
+fn bench_invariant_audit(c: &mut Criterion) {
+    let (world, _) = attack_world(XenVersion::V4_8, true);
+    c.bench_function("ablations/pv_invariant_audit", |b| {
+        b.iter(|| world.hv().audit_pv_invariants())
+    });
+}
+
+/// Event-channel send latency (bound path) and the spurious-port scan.
+fn bench_event_channels(c: &mut Criterion) {
+    let (mut world, attacker) = attack_world(XenVersion::V4_8, false);
+    let dom0 = world.dom0();
+    let rp = world
+        .hv_mut()
+        .hc_event_channel_op(dom0, EventChannelOp::AllocUnbound { remote: attacker })
+        .unwrap() as u16;
+    let lp = world
+        .hv_mut()
+        .hc_event_channel_op(
+            attacker,
+            EventChannelOp::BindInterdomain { remote: dom0, remote_port: rp },
+        )
+        .unwrap() as u16;
+    c.bench_function("ablations/evtchn_send_bound", |b| {
+        b.iter(|| {
+            world
+                .hv_mut()
+                .hc_event_channel_op(attacker, EventChannelOp::Send { port: lp })
+                .unwrap()
+        })
+    });
+    c.bench_function("ablations/spurious_port_scan", |b| {
+        b.iter(|| world.hv().spurious_pending_ports(dom0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_injector_implementations,
+    bench_invariant_audit,
+    bench_event_channels
+);
+criterion_main!(benches);

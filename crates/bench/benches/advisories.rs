@@ -1,0 +1,20 @@
+//! Dataset classification throughput (Table I machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xsa_exploits::advisories;
+
+fn bench_classify(c: &mut Criterion) {
+    c.bench_function("advisories/classify_100", |b| {
+        b.iter(|| black_box(advisories::classify()))
+    });
+    c.bench_function("advisories/counts", |b| {
+        b.iter(|| black_box(advisories::counts()))
+    });
+    c.bench_function("advisories/render_table1", |b| {
+        b.iter(|| black_box(advisories::render_table1()))
+    });
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Hypercall latency, including the validation-cost ablation behind
+//! XSA-182: the L4 fast path exists because full revalidation is
+//! expensive; `l4_fastpath` vs `l4_full_validation` quantifies the gap
+//! the vulnerable optimization was buying.
+
+use bench::attack_world;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hvsim::{ExchangeArgs, MmuUpdate, PteFlags, XenVersion};
+use hvsim_mem::{PageType, Pfn};
+use hvsim_paging::PageTableEntry;
+use std::hint::black_box;
+
+const LINK: PteFlags = PteFlags::PRESENT.union(PteFlags::RW).union(PteFlags::USER);
+
+fn bench_console_io(c: &mut Criterion) {
+    let (mut world, attacker) = attack_world(XenVersion::V4_8, false);
+    c.bench_function("hypercalls/console_io", |b| {
+        b.iter(|| world.hv_mut().hc_console_io(black_box(attacker), "ping").unwrap())
+    });
+}
+
+fn bench_mmu_update_l1(c: &mut Criterion) {
+    let (mut world, attacker) = attack_world(XenVersion::V4_8, false);
+    let (hv, kernel) = world.hv_and_kernel_mut(attacker).unwrap();
+    let (_, data_a, _) = kernel.alloc_heap_page(hv).unwrap();
+    let (_, data_b, _) = kernel.alloc_heap_page(hv).unwrap();
+    let l1 = kernel.tables().l1;
+    let ptr = l1.base().offset(200 * 8).raw();
+    let mut flip = false;
+    c.bench_function("hypercalls/mmu_update_l1_remap", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let target = if flip { data_a } else { data_b };
+            world
+                .hv_mut()
+                .hc_mmu_update(
+                    attacker,
+                    &[MmuUpdate::normal(ptr, PageTableEntry::new(target, LINK).raw())],
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_l4_fastpath_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercalls/l4_update");
+    // Vulnerable fast path (4.6): flags-only change accepted blindly.
+    {
+        let (mut world, attacker) = attack_world(XenVersion::V4_6, false);
+        let l4 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+        let ptr = l4.base().offset(42 * 8).raw();
+        let ro = PageTableEntry::new(l4, LINK.difference(PteFlags::RW));
+        world
+            .hv_mut()
+            .hc_mmu_update(attacker, &[MmuUpdate::normal(ptr, ro.raw())])
+            .unwrap();
+        let mut accessed = false;
+        group.bench_function("fastpath_flags_only_4.6", |b| {
+            b.iter(|| {
+                accessed = !accessed;
+                let e = if accessed { ro.with_flags(PteFlags::ACCESSED) } else { ro };
+                world
+                    .hv_mut()
+                    .hc_mmu_update(attacker, &[MmuUpdate::normal(ptr, e.raw())])
+                    .unwrap()
+            })
+        });
+    }
+    // Full validation (4.13): a fresh L4 link each time (promote L3 type).
+    {
+        let (mut world, attacker) = attack_world(XenVersion::V4_13, false);
+        let (hv, kernel) = world.hv_and_kernel_mut(attacker).unwrap();
+        let (_, l3_frame, _) = kernel.alloc_heap_page(hv).unwrap();
+        let _ = l3_frame;
+        let l4 = kernel.tables().l4;
+        let l3 = kernel.tables().l3;
+        let ptr = l4.base().offset(43 * 8).raw();
+        let entry = PageTableEntry::new(l3, LINK);
+        group.bench_function("full_validation_4.13", |b| {
+            b.iter(|| {
+                world
+                    .hv_mut()
+                    .hc_mmu_update(attacker, &[MmuUpdate::normal(ptr, entry.raw())])
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_exchange(c: &mut Criterion) {
+    c.bench_function("hypercalls/memory_exchange_legit", |b| {
+        b.iter_batched(
+            || {
+                let (world, attacker) = attack_world(XenVersion::V4_8, false);
+                let out = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+                (world, attacker, out)
+            },
+            |(mut world, attacker, out)| {
+                world
+                    .hv_mut()
+                    .hc_memory_exchange(attacker, &ExchangeArgs::new(vec![10], out))
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_domain_frame_alloc(c: &mut Criterion) {
+    c.bench_function("hypercalls/alloc_domain_frame", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_8, false),
+            |(mut world, attacker)| {
+                for _ in 0..16 {
+                    world
+                        .hv_mut()
+                        .alloc_domain_frame(attacker, PageType::Writable)
+                        .unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_console_io,
+    bench_mmu_update_l1,
+    bench_l4_fastpath_vs_full,
+    bench_memory_exchange,
+    bench_domain_frame_alloc
+);
+criterion_main!(benches);

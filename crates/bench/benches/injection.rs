@@ -1,0 +1,152 @@
+//! Injection-path benchmarks, including the paper's capability (i)
+//! quantified: *"it is easier to induce a representative erroneous state
+//! than effectively attack the system"* — `state_via_exploit` vs
+//! `state_via_injection` measure the full cost of reaching the same
+//! erroneous state both ways.
+
+use bench::attack_world;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hvsim::{AccessMode, XenVersion};
+use intrusion_core::{ArbitraryAccessInjector, ErroneousStateSpec, UseCase};
+use xsa_exploits::{Xsa148Priv, Xsa212Crash};
+use std::hint::black_box;
+
+fn bench_arbitrary_access_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injection/arbitrary_access");
+    let (mut world, attacker) = attack_world(XenVersion::V4_13, true);
+    let phys = world
+        .hv()
+        .domain(attacker)
+        .unwrap()
+        .p2m(hvsim_mem::Pfn::new(8))
+        .unwrap()
+        .base()
+        .raw();
+    let linear = world.hv().sidt(0).raw();
+    let mut buf = vec![0u8; 8];
+    group.bench_function("phys_read_8B", |b| {
+        b.iter(|| {
+            world
+                .hv_mut()
+                .hc_arbitrary_access(attacker, black_box(phys), &mut buf, AccessMode::PhysRead)
+                .unwrap()
+        })
+    });
+    group.bench_function("phys_write_8B", |b| {
+        b.iter(|| {
+            world
+                .hv_mut()
+                .hc_arbitrary_access(attacker, black_box(phys), &mut buf, AccessMode::PhysWrite)
+                .unwrap()
+        })
+    });
+    group.bench_function("linear_read_8B", |b| {
+        b.iter(|| {
+            world
+                .hv_mut()
+                .hc_arbitrary_access(attacker, black_box(linear), &mut buf, AccessMode::LinearRead)
+                .unwrap()
+        })
+    });
+    let guest_va = world.kernel(attacker).unwrap().va_of_pfn(hvsim_mem::Pfn::new(8)).raw();
+    group.bench_function("linear_read_guest_half_8B", |b| {
+        b.iter(|| {
+            world
+                .hv_mut()
+                .hc_arbitrary_access(attacker, black_box(guest_va), &mut buf, AccessMode::LinearRead)
+                .unwrap()
+        })
+    });
+    let mut page = vec![0u8; 4096];
+    group.bench_function("phys_write_4KiB", |b| {
+        b.iter(|| {
+            world
+                .hv_mut()
+                .hc_arbitrary_access(attacker, black_box(phys), &mut page, AccessMode::PhysWrite)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// The paper's core claim, measured: cost of reaching the XSA-212-crash
+/// erroneous state via the real exploit chain vs via one injector call.
+fn bench_exploit_vs_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injection/state_cost_xsa212_crash");
+    group.bench_function("state_via_exploit_4.6", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_6, false),
+            |(mut world, attacker)| {
+                let outcome = Xsa212Crash.run_exploit(&mut world, attacker);
+                assert!(outcome.erroneous_state);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("state_via_injection_4.6", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_6, true),
+            |(mut world, attacker)| {
+                let outcome =
+                    Xsa212Crash.run_injection(&mut world, attacker, &ArbitraryAccessInjector);
+                assert!(outcome.erroneous_state);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Same comparison for the heaviest use case (XSA-148's full physical
+/// memory scan happens on both paths; the delta is the window machinery
+/// vs raw injector reads).
+fn bench_exploit_vs_injection_xsa148(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injection/state_cost_xsa148_priv");
+    group.sample_size(10);
+    group.bench_function("state_via_exploit_4.6", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_6, false),
+            |(mut world, attacker)| {
+                let outcome = Xsa148Priv.run_exploit(&mut world, attacker);
+                assert!(outcome.erroneous_state);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("state_via_injection_4.6", |b| {
+        b.iter_batched(
+            || attack_world(XenVersion::V4_6, true),
+            |(mut world, attacker)| {
+                let outcome =
+                    Xsa148Priv.run_injection(&mut world, attacker, &ArbitraryAccessInjector);
+                assert!(outcome.erroneous_state);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_spec_lower_and_audit(c: &mut Criterion) {
+    let (world, _) = attack_world(XenVersion::V4_13, true);
+    let spec = ErroneousStateSpec::OverwriteIdtGate {
+        cpu: 0,
+        vector: 14,
+        value: 0x41,
+    };
+    c.bench_function("injection/spec_lower", |b| {
+        b.iter(|| black_box(&spec).lower(&world))
+    });
+    c.bench_function("injection/spec_audit", |b| {
+        b.iter(|| black_box(&spec).audit(&world))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arbitrary_access_modes,
+    bench_exploit_vs_injection,
+    bench_exploit_vs_injection_xsa148,
+    bench_spec_lower_and_audit
+);
+criterion_main!(benches);

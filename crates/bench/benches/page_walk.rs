@@ -1,0 +1,90 @@
+//! Software page-walk throughput: 4 KiB vs superpage translations,
+//! classic vs hardened walk policy, and the audit primitive.
+
+use bench::attack_world;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvsim::XenVersion;
+use hvsim_mem::{Pfn, VirtAddr};
+use hvsim_paging::{pte_slot, walk, WalkPolicy};
+use std::hint::black_box;
+
+fn bench_walk_4k(c: &mut Criterion) {
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    let policy = WalkPolicy::default();
+    c.bench_function("page_walk/4k_translation", |b| {
+        b.iter(|| walk(world.hv().mem(), cr3, black_box(va), &policy).unwrap())
+    });
+}
+
+fn bench_walk_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_walk/policy");
+    for (name, hardened) in [("classic", false), ("hardened", true)] {
+        let (world, attacker) = attack_world(
+            if hardened { XenVersion::V4_13 } else { XenVersion::V4_8 },
+            false,
+        );
+        let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+        let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+        let policy = world.hv().walk_policy();
+        group.bench_function(name, |b| {
+            b.iter(|| walk(world.hv().mem(), cr3, black_box(va), &policy).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_2m_superpage(c: &mut Criterion) {
+    // Build the XSA-148 superpage window on 4.6 and translate through it.
+    let (mut world, attacker) = attack_world(XenVersion::V4_6, false);
+    xsa_exploits::primitives::map_superpage_window(
+        &mut world,
+        attacker,
+        9,
+        hvsim_mem::Mfn::new(0),
+    )
+    .unwrap();
+    let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+    let va = xsa_exploits::primitives::l2_window_va(9).offset(0x1234);
+    let policy = WalkPolicy::default();
+    c.bench_function("page_walk/2m_superpage_translation", |b| {
+        b.iter(|| walk(world.hv().mem(), cr3, black_box(va), &policy).unwrap())
+    });
+}
+
+fn bench_pte_slot_audit(c: &mut Criterion) {
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    c.bench_function("page_walk/pte_slot_audit", |b| {
+        b.iter(|| pte_slot(world.hv().mem(), cr3, black_box(va), 1).unwrap())
+    });
+}
+
+fn bench_faulting_walk(c: &mut Criterion) {
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+    let policy = WalkPolicy::default();
+    c.bench_function("page_walk/not_present_fault", |b| {
+        b.iter(|| {
+            walk(
+                world.hv().mem(),
+                cr3,
+                black_box(VirtAddr::new(0x7f00_0000_0000)),
+                &policy,
+            )
+            .unwrap_err()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_walk_4k,
+    bench_walk_policies,
+    bench_walk_2m_superpage,
+    bench_pte_slot_audit,
+    bench_faulting_walk
+);
+criterion_main!(benches);

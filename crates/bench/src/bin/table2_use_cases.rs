@@ -1,0 +1,21 @@
+//! Regenerates **Table II**: the four use cases and the abusive
+//! functionality their intrusion models carry.
+
+use intrusion_core::TextTable;
+use xsa_exploits::paper_use_cases;
+
+fn main() {
+    let mut table =
+        TextTable::new(["Use Case", "Abusive Functionality"]).title("TABLE II (from the paper's four use cases)");
+    for uc in paper_use_cases() {
+        let im = uc.intrusion_model();
+        table.row([uc.name().to_owned(), im.abusive_functionality.label().to_owned()]);
+    }
+    println!("{table}");
+    println!("full instantiation shared by all four (paper §VI-A):");
+    let im = paper_use_cases()[0].intrusion_model();
+    println!(
+        "  triggering source: {}\n  target component:  {}\n  interface:         {}",
+        im.triggering_source, im.target_component, im.interface
+    );
+}

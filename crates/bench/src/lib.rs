@@ -1,0 +1,52 @@
+//! Shared helpers for the benchmark harness and the table/figure
+//! regenerators.
+//!
+//! Every table and figure of the paper has a binary that regenerates it:
+//!
+//! | artefact | binary |
+//! |---|---|
+//! | Fig. 1 (threat chain / extended AVI) | `fig1_avi_chain` |
+//! | Fig. 2 (methodology overview) | `fig2_methodology` |
+//! | Fig. 3 (intrusion model abstraction) | `fig3_intrusion_model` |
+//! | Table I (abusive functionalities) | `table1_abusive_functionalities` |
+//! | Table II (use cases) | `table2_use_cases` |
+//! | Fig. 4 (validation on Xen 4.6) | `fig4_validation` |
+//! | Table III (non-vulnerable versions) | `table3_campaign` |
+//!
+//! Run one with `cargo run -p bench --bin <name>`; Criterion benches live
+//! under `benches/` (`cargo bench -p bench`).
+
+use guestos::World;
+use hvsim::XenVersion;
+use hvsim_mem::DomainId;
+use intrusion_core::campaign::standard_world;
+use intrusion_core::{Campaign, CampaignReport};
+use xsa_exploits::paper_use_cases;
+
+/// Builds the standard world plus the attacker handle used everywhere.
+pub fn attack_world(version: XenVersion, injector: bool) -> (World, DomainId) {
+    let world = standard_world(version, injector);
+    let attacker = world.domain_by_name("guest03").expect("standard world has guest03");
+    (world, attacker)
+}
+
+/// Runs the full paper campaign (4 use cases × 3 versions × 2 modes).
+pub fn run_paper_campaign() -> CampaignReport {
+    let mut campaign = Campaign::new();
+    for uc in paper_use_cases() {
+        campaign = campaign.with_use_case(uc);
+    }
+    campaign.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_world_boots() {
+        let (world, attacker) = attack_world(XenVersion::V4_6, true);
+        assert!(world.hv().injector_enabled());
+        assert_eq!(world.kernel(attacker).unwrap().hostname(), "guest03");
+    }
+}

@@ -1,0 +1,164 @@
+//! A small dependency-free argument parser for the CLI.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag`
+/// options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// Argument errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unexpected positional argument.
+    UnexpectedPositional(String),
+    /// A required option is absent.
+    MissingOption(&'static str),
+    /// An option has an unrecognized value.
+    BadValue {
+        /// The option name.
+        option: &'static str,
+        /// The offending value.
+        value: String,
+        /// Accepted values.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => f.write_str("no subcommand given (try 'help')"),
+            ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument '{v}'"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} missing"),
+            ArgError::BadValue { option, value, expected } => {
+                write!(f, "--{option} got '{value}', expected one of: {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `args` (without the program name).
+///
+/// Everything after the subcommand must be `--key value` pairs; a key
+/// followed by another `--key` or end-of-input is treated as a flag.
+///
+/// # Errors
+///
+/// [`ArgError`] on malformed input.
+pub fn parse<I, S>(args: I) -> Result<Parsed, ArgError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut iter = args.into_iter().map(Into::into).peekable();
+    let command = iter.next().ok_or(ArgError::MissingCommand)?;
+    if command.starts_with("--") {
+        return Err(ArgError::MissingCommand);
+    }
+    let mut parsed = Parsed {
+        command,
+        ..Default::default()
+    };
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(ArgError::UnexpectedPositional(arg));
+        };
+        match iter.peek() {
+            Some(next) if !next.starts_with("--") => {
+                let value = iter.next().expect("peeked");
+                parsed.options.insert(key.to_owned(), value);
+            }
+            _ => parsed.flags.push(key.to_owned()),
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    /// A required `--key value` option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingOption`] when absent.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingOption(key))
+    }
+
+    /// An optional `--key value` option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = parse(["inject", "--use-case", "XSA-182-test", "--version", "4.13", "--json"])
+            .unwrap();
+        assert_eq!(p.command, "inject");
+        assert_eq!(p.require("use-case").unwrap(), "XSA-182-test");
+        assert_eq!(p.get_or("version", "4.6"), "4.13");
+        assert!(p.has_flag("json"));
+        assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(parse(Vec::<String>::new()).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(parse(["--json"]).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert_eq!(
+            parse(["run", "extra"]).unwrap_err(),
+            ArgError::UnexpectedPositional("extra".into())
+        );
+    }
+
+    #[test]
+    fn trailing_option_is_flag() {
+        let p = parse(["campaign", "--extensions"]).unwrap();
+        assert!(p.has_flag("extensions"));
+    }
+
+    #[test]
+    fn required_option_errors() {
+        let p = parse(["inject"]).unwrap();
+        assert_eq!(p.require("use-case").unwrap_err(), ArgError::MissingOption("use-case"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ArgError::BadValue {
+            option: "version",
+            value: "9.9".into(),
+            expected: "4.6, 4.8, 4.13",
+        };
+        assert!(e.to_string().contains("9.9"));
+    }
+}

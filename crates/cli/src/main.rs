@@ -1,0 +1,299 @@
+//! `intrusion-injector` — command-line front end for the
+//! intrusion-injection assessment tooling.
+//!
+//! ```text
+//! intrusion-injector campaign [--extensions] [--json]
+//! intrusion-injector run --use-case XSA-182-test --version 4.13 --mode injection
+//! intrusion-injector randomized --region idt --trials 24 --seed 7 --version 4.8
+//! intrusion-injector benchmark
+//! intrusion-injector taxonomy
+//! intrusion-injector models
+//! intrusion-injector help
+//! ```
+
+mod args;
+
+use args::{ArgError, Parsed};
+use intrusion_core::campaign::standard_world;
+use intrusion_core::{
+    ArbitraryAccessInjector, Campaign, Mode, RandomizedCampaign, SecurityBenchmark, TargetRegion,
+    UseCase,
+};
+use hvsim::XenVersion;
+use std::process::ExitCode;
+use xsa_exploits::{extension_use_cases, paper_use_cases};
+
+const HELP: &str = "\
+intrusion-injector — intrusion injection for virtualized systems (DSN 2023)
+
+USAGE:
+    intrusion-injector <command> [options]
+
+COMMANDS:
+    campaign     run the full assessment campaign and print Tables II/III + Fig. 4
+                   [--extensions]  include the extension use cases
+                   [--json]        emit the raw cell report as JSON
+    run          run one use case once
+                   --use-case <name>      e.g. XSA-212-crash (see 'models')
+                   [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
+                   [--mode <m>]           exploit | injection (default injection)
+    randomized   fuzz-style randomized injection sweep
+                   [--region <r>]   idt | l3 | pagetables | frames (default idt)
+                   [--trials <n>]   default 16
+                   [--seed <n>]     default 7
+                   [--version <v>]  default 4.8
+    benchmark    score and rank versions by erroneous-state handling
+    taxonomy     print the abusive-functionality study (Table I)
+    models       list the available use cases and their intrusion models
+    help         this text
+";
+
+fn parse_version(p: &Parsed) -> Result<XenVersion, ArgError> {
+    match p.get_or("version", "4.6") {
+        "4.6" => Ok(XenVersion::V4_6),
+        "4.8" => Ok(XenVersion::V4_8),
+        "4.13" => Ok(XenVersion::V4_13),
+        other => Err(ArgError::BadValue {
+            option: "version",
+            value: other.to_owned(),
+            expected: "4.6, 4.8, 4.13",
+        }),
+    }
+}
+
+fn all_use_cases() -> Vec<Box<dyn UseCase>> {
+    paper_use_cases().into_iter().chain(extension_use_cases()).collect()
+}
+
+fn find_use_case(name: &str) -> Option<Box<dyn UseCase>> {
+    all_use_cases().into_iter().find(|uc| uc.name().eq_ignore_ascii_case(name))
+}
+
+fn cmd_campaign(p: &Parsed) -> Result<(), String> {
+    let mut campaign = Campaign::new();
+    for uc in paper_use_cases() {
+        campaign = campaign.with_use_case(uc);
+    }
+    if p.has_flag("extensions") {
+        for uc in extension_use_cases() {
+            campaign = campaign.with_use_case(uc);
+        }
+    }
+    eprintln!("running the campaign ...");
+    let report = campaign.run();
+    if p.has_flag("json") {
+        println!("{}", report.to_json().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    println!("{}", report.render_table2());
+    println!("{}", report.render_fig4());
+    println!("{}", report.render_table3());
+    Ok(())
+}
+
+fn cmd_run(p: &Parsed) -> Result<(), String> {
+    let name = p.require("use-case").map_err(|e| e.to_string())?;
+    let uc = find_use_case(name).ok_or_else(|| {
+        format!("unknown use case '{name}' (see 'intrusion-injector models')")
+    })?;
+    let version = parse_version(p).map_err(|e| e.to_string())?;
+    let mode = match p.get_or("mode", "injection") {
+        "exploit" => Mode::Exploit,
+        "injection" => Mode::Injection,
+        other => return Err(format!("--mode got '{other}', expected exploit|injection")),
+    };
+    let mut world = standard_world(version, mode == Mode::Injection);
+    let attacker = world.domain_by_name("guest03").expect("standard world");
+    println!("{} / Xen {version} / {mode}", uc.name());
+    println!("intrusion model: {}", uc.intrusion_model());
+    let outcome = match mode {
+        Mode::Exploit => uc.run_exploit(&mut world, attacker),
+        Mode::Injection => uc.run_injection(&mut world, attacker, &ArbitraryAccessInjector),
+    };
+    for note in &outcome.notes {
+        println!("  | {note}");
+    }
+    println!("erroneous state: {}", outcome.erroneous_state);
+    if let Some(audit) = &outcome.state_audit {
+        println!("audit evidence:  {}", audit.evidence);
+    }
+    if let Some(err) = &outcome.error {
+        println!("failure:         {err}");
+    }
+    let observation = uc.monitor(&world, attacker).observe(&world);
+    if observation.is_clean() {
+        println!("security violations: none (state handled)");
+    } else {
+        println!("security violations:");
+        for v in &observation.violations {
+            println!("  ! {v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_randomized(p: &Parsed) -> Result<(), String> {
+    let region = match p.get_or("region", "idt") {
+        "idt" => TargetRegion::IdtGates { cpu: 0 },
+        "l3" => TargetRegion::SharedL3,
+        "pagetables" => TargetRegion::DomainPageTables,
+        "frames" => TargetRegion::DomainFrames,
+        other => return Err(format!("--region got '{other}', expected idt|l3|pagetables|frames")),
+    };
+    let trials: usize = p.get_or("trials", "16").parse().map_err(|_| "--trials must be a number")?;
+    let seed: u64 = p.get_or("seed", "7").parse().map_err(|_| "--seed must be a number")?;
+    let version = parse_version(p).map_err(|e| e.to_string())?;
+    let campaign = RandomizedCampaign::new(region, trials, seed);
+    eprintln!("running {trials} trials against {} on Xen {version} ...", region.label());
+    let (summary, outcomes) = campaign.run(|| {
+        let w = standard_world(version, true);
+        let a = w.domain_by_name("guest03").expect("standard world");
+        (w, a)
+    });
+    println!("{summary}");
+    for (i, o) in outcomes.iter().enumerate() {
+        println!(
+            "  trial {i:>3}: {} injected={} crashed={} violations={}",
+            o.spec, o.injected, o.crashed, o.violations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_benchmark() -> Result<(), String> {
+    let mut campaign = Campaign::new();
+    for uc in all_use_cases() {
+        campaign = campaign.with_use_case(uc);
+    }
+    eprintln!("running the extended campaign ...");
+    let report = campaign.run();
+    let benchmark = SecurityBenchmark::from_report(&report);
+    println!("{}", benchmark.render());
+    for (i, (version, score)) in benchmark.ranking().iter().enumerate() {
+        println!("  {}. Xen {version}  score {score:.2}", i + 1);
+    }
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    for uc in all_use_cases() {
+        let im = uc.intrusion_model();
+        println!("{:<14} {im}", uc.name());
+        if !im.related_advisories.is_empty() {
+            println!("{:<14}   generalizes: {}", "", im.related_advisories.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let parsed = args::parse(argv).map_err(|e| e.to_string())?;
+    match parsed.command.as_str() {
+        "campaign" => cmd_campaign(&parsed),
+        "run" => cmd_run(&parsed),
+        "randomized" => cmd_randomized(&parsed),
+        "benchmark" => cmd_benchmark(),
+        "taxonomy" => {
+            println!("{}", xsa_exploits::advisories::render_table1());
+            Ok(())
+        }
+        "models" => cmd_models(),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'help')")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = if argv.is_empty() { vec!["help".to_owned()] } else { argv };
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_runs() {
+        run(vec!["help".into()]).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(vec!["bogus".into()]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn models_lists_all_use_cases() {
+        cmd_models().unwrap();
+        assert!(find_use_case("XSA-212-crash").is_some());
+        assert!(find_use_case("xsa-182-test").is_some(), "case-insensitive");
+        assert!(find_use_case("MGMT-pause").is_some());
+        assert!(find_use_case("nope").is_none());
+    }
+
+    #[test]
+    fn run_single_injection_cell() {
+        run(vec![
+            "run".into(),
+            "--use-case".into(),
+            "XSA-182-test".into(),
+            "--version".into(),
+            "4.13".into(),
+            "--mode".into(),
+            "injection".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_version_and_mode() {
+        let err = run(vec![
+            "run".into(),
+            "--use-case".into(),
+            "XSA-182-test".into(),
+            "--version".into(),
+            "9.9".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("expected one of"));
+        let err = run(vec![
+            "run".into(),
+            "--use-case".into(),
+            "XSA-182-test".into(),
+            "--mode".into(),
+            "sideways".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("exploit|injection"));
+    }
+
+    #[test]
+    fn randomized_small_sweep() {
+        run(vec![
+            "randomized".into(),
+            "--region".into(),
+            "frames".into(),
+            "--trials".into(),
+            "2".into(),
+            "--version".into(),
+            "4.13".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn taxonomy_prints() {
+        run(vec!["taxonomy".into()]).unwrap();
+    }
+}

@@ -1,0 +1,454 @@
+//! The assessment campaign runner: every use case × version × mode, with
+//! monitoring — the machinery behind the paper's Tables II/III and
+//! Figs. 2/4.
+
+use crate::injector::ArbitraryAccessInjector;
+use crate::monitor::SecurityViolation;
+use crate::report::{TextTable, CHECK, SHIELD};
+use crate::scenario::{Mode, UseCase};
+use guestos::{World, WorldBuilder};
+use hvsim::XenVersion;
+use serde::{Deserialize, Serialize};
+
+/// Builds a fresh world for one campaign cell: `(version,
+/// injector_enabled)` — the paper keeps everything else identical across
+/// runs ("the build and experimental environment are kept the same",
+/// §V-B).
+pub type WorldFactory = Box<dyn Fn(XenVersion, bool) -> World>;
+
+/// The world used throughout the evaluation: privileged dom0 (`xen3`)
+/// plus guests `xen2` and `guest03`; `guest03` is the compromised guest
+/// the exploits run in.
+pub fn standard_world(version: XenVersion, injector: bool) -> World {
+    WorldBuilder::new(version)
+        .injector(injector)
+        .guest("xen2", 64)
+        .guest("guest03", 64)
+        .build()
+        .expect("standard world boots")
+}
+
+/// Name of the attacker guest in the standard world.
+pub const ATTACKER_GUEST: &str = "guest03";
+
+/// One campaign cell: a use case run in one mode on one version.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Use-case name (e.g. `XSA-212-crash`).
+    pub use_case: String,
+    /// The abusive functionality of its intrusion model (for Table II).
+    pub abusive_functionality: String,
+    /// Version under test.
+    pub version: XenVersion,
+    /// Exploit or injection.
+    pub mode: Mode,
+    /// Whether the erroneous state was induced.
+    pub erroneous_state: bool,
+    /// Violations observed afterwards.
+    pub violations: Vec<SecurityViolation>,
+    /// State induced but no violation — the system *handled* it (the
+    /// shield of Table III).
+    pub handled: bool,
+    /// The run's log.
+    pub notes: Vec<String>,
+    /// Failure reason when the state was not induced.
+    pub error: Option<String>,
+}
+
+impl CellResult {
+    /// `true` if at least one security violation was observed.
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// A complete campaign report.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CampaignReport {
+    cells: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// Builds a report from pre-computed cells (used by the benchmark
+    /// layer and by report deserialization).
+    pub fn from_cells(cells: Vec<CellResult>) -> Self {
+        Self { cells }
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[CellResult] {
+        &self.cells
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, use_case: &str, version: XenVersion, mode: Mode) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.use_case == use_case && c.version == version && c.mode == mode)
+    }
+
+    /// Renders Table II: use case → abusive functionality.
+    pub fn render_table2(&self) -> String {
+        let mut table = TextTable::new(["Use Case", "Abusive Functionality"])
+            .title("TABLE II: use cases and their abusive functionality");
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.cells {
+            if seen.insert(c.use_case.clone()) {
+                table.row([c.use_case.clone(), c.abusive_functionality.clone()]);
+            }
+        }
+        table.to_string()
+    }
+
+    /// Renders Table III: the injection campaign on the non-vulnerable
+    /// versions. A check marks a correctly induced property; the shield
+    /// marks an erroneous state the system handled.
+    pub fn render_table3(&self) -> String {
+        let mut table = TextTable::new([
+            "Use Case",
+            "4.8 Err. State",
+            "4.8 Sec. Viol.",
+            "4.13 Err. State",
+            "4.13 Sec. Viol.",
+        ])
+        .title(
+            "TABLE III: injection campaign in non-vulnerable versions \
+             (check = property induced, shield = erroneous state handled)",
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.cells {
+            if !seen.insert(c.use_case.clone()) {
+                continue;
+            }
+            let mut row = vec![c.use_case.clone()];
+            for version in [XenVersion::V4_8, XenVersion::V4_13] {
+                match self.cell(&c.use_case, version, Mode::Injection) {
+                    Some(cell) => {
+                        row.push(if cell.erroneous_state { CHECK } else { "x" }.to_owned());
+                        row.push(
+                            if cell.violated() {
+                                CHECK.to_owned()
+                            } else if cell.handled {
+                                SHIELD.to_owned()
+                            } else {
+                                "x".to_owned()
+                            },
+                        );
+                    }
+                    None => {
+                        row.push("-".into());
+                        row.push("-".into());
+                    }
+                }
+            }
+            table.row(row);
+        }
+        table.to_string()
+    }
+
+    /// Renders the Fig. 4 comparison: on the vulnerable version, does the
+    /// injection reproduce the exploit's erroneous state *and* security
+    /// violation?
+    pub fn render_fig4(&self) -> String {
+        let mut table = TextTable::new([
+            "Use Case",
+            "exploit err/viol (4.6)",
+            "injection err/viol (4.6)",
+            "equivalent",
+        ])
+        .title("FIG. 4: experimental validation on the vulnerable version (Xen 4.6)");
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.cells {
+            if !seen.insert(c.use_case.clone()) {
+                continue;
+            }
+            let e = self.cell(&c.use_case, XenVersion::V4_6, Mode::Exploit);
+            let i = self.cell(&c.use_case, XenVersion::V4_6, Mode::Injection);
+            let fmt_cell = |c: Option<&CellResult>| match c {
+                Some(c) => format!(
+                    "{}/{}",
+                    if c.erroneous_state { CHECK } else { "x" },
+                    if c.violated() { CHECK } else { "x" }
+                ),
+                None => "-".into(),
+            };
+            let equivalent = match (e, i) {
+                (Some(e), Some(i)) => {
+                    e.erroneous_state == i.erroneous_state && e.violated() == i.violated()
+                }
+                _ => false,
+            };
+            table.row([
+                c.use_case.clone(),
+                fmt_cell(e),
+                fmt_cell(i),
+                if equivalent { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+        table.to_string()
+    }
+
+    /// Renders the Fig. 2 methodology view for one use case on one
+    /// version: the traditional path vs the injection path.
+    pub fn render_fig2(&self, use_case: &str, version: XenVersion) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "FIG. 2: methodology paths for {use_case} on Xen {version}\n"
+        ));
+        for (mode, label) in [
+            (Mode::Exploit, "traditional: attack -> vulnerability -> intrusion"),
+            (Mode::Injection, "injection:   intrusion injector (intrusion model)"),
+        ] {
+            if let Some(c) = self.cell(use_case, version, mode) {
+                let terminal = if c.violated() {
+                    "security violation"
+                } else if c.handled {
+                    "erroneous state handled"
+                } else {
+                    "no erroneous state"
+                };
+                out.push_str(&format!(
+                    "  {label} -> erroneous state: {} -> {terminal}\n",
+                    if c.erroneous_state { "induced" } else { "not induced" },
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the report to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (unreachable for this data model).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(&self.cells)
+    }
+}
+
+/// The campaign: use cases × versions × modes.
+pub struct Campaign {
+    use_cases: Vec<Box<dyn UseCase>>,
+    versions: Vec<XenVersion>,
+    modes: Vec<Mode>,
+    factory: WorldFactory,
+}
+
+impl Campaign {
+    /// A campaign over all three versions and both modes, using the
+    /// standard world.
+    pub fn new() -> Self {
+        Self {
+            use_cases: Vec::new(),
+            versions: XenVersion::ALL.to_vec(),
+            modes: vec![Mode::Exploit, Mode::Injection],
+            factory: Box::new(standard_world),
+        }
+    }
+
+    /// Adds a use case.
+    #[must_use]
+    pub fn with_use_case(mut self, uc: Box<dyn UseCase>) -> Self {
+        self.use_cases.push(uc);
+        self
+    }
+
+    /// Restricts the versions under test.
+    #[must_use]
+    pub fn versions(mut self, versions: &[XenVersion]) -> Self {
+        self.versions = versions.to_vec();
+        self
+    }
+
+    /// Restricts the modes.
+    #[must_use]
+    pub fn modes(mut self, modes: &[Mode]) -> Self {
+        self.modes = modes.to_vec();
+        self
+    }
+
+    /// Replaces the world factory.
+    #[must_use]
+    pub fn world_factory(mut self, factory: WorldFactory) -> Self {
+        self.factory = factory;
+        self
+    }
+
+    /// Runs every cell: a **fresh world per cell** (exploit cells on a
+    /// stock build, injection cells on an injector build, exactly like
+    /// the paper's setup), then monitors for violations.
+    pub fn run(&self) -> CampaignReport {
+        let mut cells = Vec::new();
+        for uc in &self.use_cases {
+            for &version in &self.versions {
+                for &mode in &self.modes {
+                    let injector_build = mode == Mode::Injection;
+                    let mut world = (self.factory)(version, injector_build);
+                    let attacker = world
+                        .domain_by_name(ATTACKER_GUEST)
+                        .or_else(|| world.domains().last().copied())
+                        .expect("world has at least one domain");
+                    let outcome = match mode {
+                        Mode::Exploit => uc.run_exploit(&mut world, attacker),
+                        Mode::Injection => {
+                            uc.run_injection(&mut world, attacker, &ArbitraryAccessInjector)
+                        }
+                    };
+                    let monitor = uc.monitor(&world, attacker);
+                    let observation = monitor.observe(&world);
+                    let handled = outcome.erroneous_state && observation.is_clean();
+                    cells.push(CellResult {
+                        use_case: uc.name().to_owned(),
+                        abusive_functionality: uc
+                            .intrusion_model()
+                            .abusive_functionality
+                            .label()
+                            .to_owned(),
+                        version,
+                        mode,
+                        erroneous_state: outcome.erroneous_state,
+                        violations: observation.violations,
+                        handled,
+                        notes: outcome.notes,
+                        error: outcome.error,
+                    });
+                }
+            }
+        }
+        CampaignReport { cells }
+    }
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erroneous_state::ErroneousStateSpec;
+    use crate::injector::Injector;
+    use crate::model::IntrusionModel;
+    use crate::scenario::ScenarioOutcome;
+    use crate::taxonomy::AbusiveFunctionality;
+    use hvsim_mem::DomainId;
+
+    /// A synthetic use case: injects IDT corruption and triggers a fault.
+    struct CrashCase;
+
+    impl UseCase for CrashCase {
+        fn name(&self) -> &'static str {
+            "synthetic-crash"
+        }
+
+        fn intrusion_model(&self) -> IntrusionModel {
+            IntrusionModel::guest_hypercall_memory(
+                "IM-test",
+                AbusiveFunctionality::WriteUnauthorizedArbitraryMemory,
+                &["XSA-212"],
+            )
+        }
+
+        fn run_exploit(&self, world: &mut World, attacker: DomainId) -> ScenarioOutcome {
+            // "Exploit" stand-in: only works where XSA-212 exists.
+            let vulnerable = world.hv().version().is_vulnerable();
+            if !vulnerable {
+                return ScenarioOutcome::failed("-EFAULT (bad address)");
+            }
+            let spec = ErroneousStateSpec::OverwriteIdtGate { cpu: 0, vector: 14, value: 0x41 };
+            let gate_va = world.hv().sidt(0).offset(14 * 16);
+            let args = hvsim::ExchangeArgs::write_what_where(gate_va, 0x41, 0);
+            let _ = world.hv_mut().hc_memory_exchange(attacker, &args);
+            let audit = spec.audit(world);
+            let mut out = ScenarioOutcome {
+                erroneous_state: audit.present,
+                state_audit: Some(audit),
+                notes: vec![],
+                error: None,
+            };
+            let mut buf = [0u8; 1];
+            let _ = world
+                .hv_mut()
+                .guest_read_va(attacker, hvsim_mem::VirtAddr::new(0x7f00_0000_0000), &mut buf);
+            out.note("triggered page fault");
+            out
+        }
+
+        fn run_injection(
+            &self,
+            world: &mut World,
+            attacker: DomainId,
+            injector: &dyn Injector,
+        ) -> ScenarioOutcome {
+            let spec = ErroneousStateSpec::OverwriteIdtGate { cpu: 0, vector: 14, value: 0x41 };
+            match injector.inject(world, attacker, &spec) {
+                Ok(ev) => {
+                    let mut buf = [0u8; 1];
+                    let _ = world.hv_mut().guest_read_va(
+                        attacker,
+                        hvsim_mem::VirtAddr::new(0x7f00_0000_0000),
+                        &mut buf,
+                    );
+                    ScenarioOutcome {
+                        erroneous_state: true,
+                        state_audit: Some(ev.audit),
+                        notes: vec!["injected and triggered".into()],
+                        error: None,
+                    }
+                }
+                Err(e) => ScenarioOutcome::failed(e.to_string()),
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_produces_full_matrix() {
+        let report = Campaign::new().with_use_case(Box::new(CrashCase)).run();
+        assert_eq!(report.cells().len(), 6, "3 versions x 2 modes");
+        // Exploit works only on 4.6.
+        let e46 = report.cell("synthetic-crash", XenVersion::V4_6, Mode::Exploit).unwrap();
+        assert!(e46.erroneous_state);
+        assert!(e46.violated());
+        let e48 = report.cell("synthetic-crash", XenVersion::V4_8, Mode::Exploit).unwrap();
+        assert!(!e48.erroneous_state);
+        assert_eq!(e48.error.as_deref(), Some("-EFAULT (bad address)"));
+        // Injection works everywhere and the crash follows everywhere.
+        for v in XenVersion::ALL {
+            let c = report.cell("synthetic-crash", v, Mode::Injection).unwrap();
+            assert!(c.erroneous_state, "injection on {v}");
+            assert!(c.violated(), "crash on {v}");
+            assert!(!c.handled);
+        }
+    }
+
+    #[test]
+    fn report_renderers_produce_tables() {
+        let report = Campaign::new().with_use_case(Box::new(CrashCase)).run();
+        let t2 = report.render_table2();
+        assert!(t2.contains("synthetic-crash"));
+        assert!(t2.contains("Write Unauthorized Arbitrary Memory"));
+        let t3 = report.render_table3();
+        assert!(t3.contains("4.13 Sec. Viol."));
+        assert!(t3.contains(CHECK));
+        let f4 = report.render_fig4();
+        assert!(f4.contains("yes"), "exploit and injection equivalent on 4.6:\n{f4}");
+        let f2 = report.render_fig2("synthetic-crash", XenVersion::V4_6);
+        assert!(f2.contains("traditional"));
+        assert!(f2.contains("injection"));
+        let json = report.to_json().unwrap();
+        assert!(json.contains("\"use_case\""));
+    }
+
+    #[test]
+    fn restricted_campaign() {
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .versions(&[XenVersion::V4_13])
+            .modes(&[Mode::Injection])
+            .run();
+        assert_eq!(report.cells().len(), 1);
+        assert_eq!(report.cells()[0].version, XenVersion::V4_13);
+    }
+}

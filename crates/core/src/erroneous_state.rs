@@ -1,0 +1,414 @@
+//! Machine-checkable erroneous-state specifications.
+//!
+//! A specification says *what state to induce* (lowered to injector
+//! operations) and *how to audit that it is present* — the paper's
+//! equivalence criterion between exploit-induced and injected states
+//! ("a page-table walk to audit the same erroneous state was performed",
+//! §VI-C).
+
+use guestos::World;
+use hvsim::{AccessMode, IdtEntry, PteFlags};
+use hvsim_mem::{DomainId, Mfn};
+use hvsim_paging::PageTableEntry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of auditing a state specification against a world.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateAudit {
+    /// Whether the erroneous state is present.
+    pub present: bool,
+    /// Evidence (what was read and compared).
+    pub evidence: String,
+}
+
+/// A specification of one erroneous state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ErroneousStateSpec {
+    /// Overwrite the first 8 bytes of an IDT gate with `value`
+    /// (XSA-212-crash: gate 14 gets garbage).
+    OverwriteIdtGate {
+        /// CPU whose IDT is targeted.
+        cpu: usize,
+        /// Gate vector.
+        vector: u8,
+        /// The 8 bytes written over the gate.
+        value: u64,
+    },
+    /// Install a full 16-byte IDT gate (XSA-212-priv registers its
+    /// payload handler this way).
+    InstallIdtGate {
+        /// CPU whose IDT is targeted.
+        cpu: usize,
+        /// Gate vector.
+        vector: u8,
+        /// The packed gate bytes.
+        gate: [u8; 16],
+    },
+    /// Write a page-table entry into the shared hypervisor L3 page
+    /// (XSA-212-priv's "crafted PUD entry written" / "linked PMD into
+    /// target PUD").
+    LinkPmdIntoSharedL3 {
+        /// L3 slot index.
+        index: usize,
+        /// The entry value to write.
+        entry: u64,
+    },
+    /// Set the `RW` bit on an L4 entry (XSA-182's writable self-map).
+    SetL4EntryRw {
+        /// The L4 table frame.
+        l4: Mfn,
+        /// Entry index.
+        index: usize,
+    },
+    /// Write bytes into an arbitrary machine frame (XSA-148's vDSO patch
+    /// and general memory corruption).
+    WriteFrame {
+        /// Target frame.
+        mfn: Mfn,
+        /// Byte offset within the frame.
+        offset: usize,
+        /// Bytes to write.
+        bytes: Vec<u8>,
+    },
+    /// Raw write at a hypervisor linear address.
+    WriteLinear {
+        /// Target linear address.
+        addr: u64,
+        /// Bytes to write.
+        bytes: Vec<u8>,
+    },
+    /// Give a domain retained access to a frame it does not own
+    /// (Keep Page Reference / Keep Page Access).
+    RetainFrameAccess {
+        /// The domain keeping access.
+        dom: DomainId,
+        /// The frame.
+        mfn: Mfn,
+    },
+    /// Raise pending event bits for ports the victim never bound —
+    /// spurious virtual interrupts (Uncontrolled Arbitrary Interrupts).
+    SpuriousPendingEvents {
+        /// The victim domain.
+        dom: DomainId,
+        /// Ports whose pending bits are set.
+        ports: Vec<u16>,
+    },
+    /// Force a domain's scheduler pause flag — the availability state a
+    /// compromised management interface leaves behind.
+    ForcePause {
+        /// The paused domain.
+        dom: DomainId,
+    },
+}
+
+impl ErroneousStateSpec {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErroneousStateSpec::OverwriteIdtGate { .. } => "overwrite IDT gate",
+            ErroneousStateSpec::InstallIdtGate { .. } => "install IDT gate",
+            ErroneousStateSpec::LinkPmdIntoSharedL3 { .. } => "link PMD into shared L3",
+            ErroneousStateSpec::SetL4EntryRw { .. } => "set RW on L4 entry",
+            ErroneousStateSpec::WriteFrame { .. } => "write machine frame",
+            ErroneousStateSpec::WriteLinear { .. } => "write linear address",
+            ErroneousStateSpec::RetainFrameAccess { .. } => "retain frame access",
+            ErroneousStateSpec::SpuriousPendingEvents { .. } => "spurious pending events",
+            ErroneousStateSpec::ForcePause { .. } => "force pause state",
+        }
+    }
+
+    /// Lowers the specification to `arbitrary_access` operations:
+    /// `(mode, address, bytes)` triples. [`RetainFrameAccess`] lowers to
+    /// an empty list — it is applied through the injector's accounting
+    /// interface instead.
+    ///
+    /// [`RetainFrameAccess`]: ErroneousStateSpec::RetainFrameAccess
+    pub fn lower(&self, world: &World) -> Vec<(AccessMode, u64, Vec<u8>)> {
+        match self {
+            ErroneousStateSpec::OverwriteIdtGate { cpu, vector, value } => {
+                let addr = world
+                    .hv()
+                    .sidt(*cpu)
+                    .offset(IdtEntry::slot_offset(*vector) as u64);
+                vec![(AccessMode::LinearWrite, addr.raw(), value.to_le_bytes().to_vec())]
+            }
+            ErroneousStateSpec::InstallIdtGate { cpu, vector, gate } => {
+                let addr = world
+                    .hv()
+                    .sidt(*cpu)
+                    .offset(IdtEntry::slot_offset(*vector) as u64);
+                vec![(AccessMode::LinearWrite, addr.raw(), gate.to_vec())]
+            }
+            ErroneousStateSpec::LinkPmdIntoSharedL3 { index, entry } => {
+                let addr = world
+                    .hv()
+                    .shared_l3_mfn()
+                    .base()
+                    .offset(*index as u64 * 8);
+                vec![(AccessMode::PhysWrite, addr.raw(), entry.to_le_bytes().to_vec())]
+            }
+            ErroneousStateSpec::SetL4EntryRw { l4, index } => {
+                let slot = l4.base().offset(*index as u64 * 8);
+                let current = world.hv().mem().read_u64(slot).unwrap_or(0);
+                let new = PageTableEntry::from_raw(current)
+                    .with_flags(PteFlags::RW)
+                    .raw();
+                vec![(AccessMode::PhysWrite, slot.raw(), new.to_le_bytes().to_vec())]
+            }
+            ErroneousStateSpec::WriteFrame { mfn, offset, bytes } => {
+                vec![(
+                    AccessMode::PhysWrite,
+                    mfn.base().offset(*offset as u64).raw(),
+                    bytes.clone(),
+                )]
+            }
+            ErroneousStateSpec::WriteLinear { addr, bytes } => {
+                vec![(AccessMode::LinearWrite, *addr, bytes.clone())]
+            }
+            ErroneousStateSpec::RetainFrameAccess { .. } => Vec::new(),
+            ErroneousStateSpec::SpuriousPendingEvents { dom, ports } => {
+                // The pending bitmap lives in the victim's shared-info
+                // frame: compute the byte writes that raise each bit.
+                let Some(shared) = world
+                    .hv()
+                    .domain(*dom)
+                    .ok()
+                    .and_then(|d| d.shared_info_mfn())
+                else {
+                    return Vec::new();
+                };
+                let mut by_byte: std::collections::BTreeMap<usize, u8> =
+                    std::collections::BTreeMap::new();
+                for &port in ports {
+                    let byte = hvsim::PENDING_OFFSET + (port as usize) / 8;
+                    *by_byte.entry(byte).or_default() |= 1 << (port % 8);
+                }
+                by_byte
+                    .into_iter()
+                    .map(|(byte, mask)| {
+                        let addr = shared.base().offset(byte as u64);
+                        let current = world
+                            .hv()
+                            .mem()
+                            .read_u64(addr)
+                            .map(|v| (v & 0xff) as u8)
+                            .unwrap_or(0);
+                        (AccessMode::PhysWrite, addr.raw(), vec![current | mask])
+                    })
+                    .collect()
+            }
+            ErroneousStateSpec::ForcePause { .. } => Vec::new(),
+        }
+    }
+
+    /// Audits whether the state is present in `world`.
+    pub fn audit(&self, world: &World) -> StateAudit {
+        match self {
+            ErroneousStateSpec::OverwriteIdtGate { cpu, vector, value } => {
+                match world.hv().idt_entry(*cpu, *vector) {
+                    Ok(gate) => {
+                        let corrupted = !world.hv().is_valid_handler(gate.offset) || !gate.present;
+                        StateAudit {
+                            present: corrupted,
+                            evidence: format!(
+                                "gate {vector} offset {} (expected corruption from {value:#x}), \
+                                 valid handler: {}",
+                                gate.offset,
+                                !corrupted
+                            ),
+                        }
+                    }
+                    Err(e) => StateAudit {
+                        present: false,
+                        evidence: format!("idt read failed: {e}"),
+                    },
+                }
+            }
+            ErroneousStateSpec::InstallIdtGate { cpu, vector, gate } => {
+                let expected = IdtEntry::unpack(gate);
+                match world.hv().idt_entry(*cpu, *vector) {
+                    Ok(read) => StateAudit {
+                        present: read == expected,
+                        evidence: format!("gate {vector} -> handler {}", read.offset),
+                    },
+                    Err(e) => StateAudit {
+                        present: false,
+                        evidence: format!("idt read failed: {e}"),
+                    },
+                }
+            }
+            ErroneousStateSpec::LinkPmdIntoSharedL3 { index, entry } => {
+                let addr = world.hv().shared_l3_mfn().base().offset(*index as u64 * 8);
+                let read = world.hv().mem().read_u64(addr).unwrap_or(0);
+                StateAudit {
+                    present: read == *entry,
+                    evidence: format!("shared L3[{index}] = {read:#018x} (expected {entry:#018x})"),
+                }
+            }
+            ErroneousStateSpec::SetL4EntryRw { l4, index } => {
+                let slot = l4.base().offset(*index as u64 * 8);
+                let read = PageTableEntry::from_raw(world.hv().mem().read_u64(slot).unwrap_or(0));
+                let present = read.is_present() && read.flags().contains(PteFlags::RW);
+                StateAudit {
+                    present,
+                    evidence: format!("page_directory[{index}] = {:#018x}", read.raw()),
+                }
+            }
+            ErroneousStateSpec::WriteFrame { mfn, offset, bytes } => {
+                let mut read = vec![0u8; bytes.len()];
+                let ok = world
+                    .hv()
+                    .mem()
+                    .read(mfn.base().offset(*offset as u64), &mut read)
+                    .is_ok();
+                StateAudit {
+                    present: ok && read == *bytes,
+                    evidence: format!("frame {mfn}+{offset:#x}: {} bytes compared", bytes.len()),
+                }
+            }
+            ErroneousStateSpec::WriteLinear { addr, bytes } => {
+                // Audit through the direct map when possible.
+                let phys = world
+                    .hv()
+                    .layout()
+                    .directmap_phys(hvsim_mem::VirtAddr::new(*addr));
+                match phys {
+                    Some(p) => {
+                        let mut read = vec![0u8; bytes.len()];
+                        let ok = world
+                            .hv()
+                            .mem()
+                            .read(hvsim_mem::PhysAddr::new(p), &mut read)
+                            .is_ok();
+                        StateAudit {
+                            present: ok && read == *bytes,
+                            evidence: format!("linear {addr:#x} -> phys {p:#x} compared"),
+                        }
+                    }
+                    None => StateAudit {
+                        present: false,
+                        evidence: format!("linear {addr:#x} not auditable via direct map"),
+                    },
+                }
+            }
+            ErroneousStateSpec::RetainFrameAccess { dom, mfn } => {
+                let present = world
+                    .hv()
+                    .domain(*dom)
+                    .map(|d| d.retains_access(*mfn))
+                    .unwrap_or(false);
+                StateAudit {
+                    present,
+                    evidence: format!("{dom} retains access to {mfn}: {present}"),
+                }
+            }
+            ErroneousStateSpec::SpuriousPendingEvents { dom, ports } => {
+                let spurious = world.hv().spurious_pending_ports(*dom);
+                let present = ports.iter().all(|p| spurious.contains(p));
+                StateAudit {
+                    present,
+                    evidence: format!("{dom} spurious pending ports: {spurious:?}"),
+                }
+            }
+            ErroneousStateSpec::ForcePause { dom } => {
+                let present = world.hv().domain(*dom).map(|d| d.is_paused()).unwrap_or(false);
+                StateAudit {
+                    present,
+                    evidence: format!("{dom} paused: {present}"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ErroneousStateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guestos::WorldBuilder;
+    use hvsim::XenVersion;
+
+    fn world() -> World {
+        WorldBuilder::new(XenVersion::V4_6)
+            .injector(true)
+            .guest("g", 32)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn idt_gate_spec_lowers_to_sidt_address() {
+        let w = world();
+        let spec = ErroneousStateSpec::OverwriteIdtGate {
+            cpu: 0,
+            vector: 14,
+            value: 0x41,
+        };
+        let ops = spec.lower(&w);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, AccessMode::LinearWrite);
+        assert_eq!(ops[0].1, w.hv().sidt(0).raw() + 14 * 16);
+        // Pristine gate: audit reports absent.
+        assert!(!spec.audit(&w).present);
+    }
+
+    #[test]
+    fn write_frame_spec_roundtrip() {
+        let mut w = world();
+        let dom = w.domain_by_name("g").unwrap();
+        let mfn = w.hv().domain(dom).unwrap().p2m(hvsim_mem::Pfn::new(8)).unwrap();
+        let spec = ErroneousStateSpec::WriteFrame {
+            mfn,
+            offset: 16,
+            bytes: b"evil".to_vec(),
+        };
+        assert!(!spec.audit(&w).present);
+        for (mode, addr, mut bytes) in spec.lower(&w) {
+            w.hv_mut().hc_arbitrary_access(dom, addr, &mut bytes, mode).unwrap();
+        }
+        assert!(spec.audit(&w).present);
+    }
+
+    #[test]
+    fn retain_access_spec_has_no_memory_ops() {
+        let w = world();
+        let dom = w.domain_by_name("g").unwrap();
+        let spec = ErroneousStateSpec::RetainFrameAccess {
+            dom,
+            mfn: Mfn::new(3),
+        };
+        assert!(spec.lower(&w).is_empty());
+        assert!(!spec.audit(&w).present);
+    }
+
+    #[test]
+    fn l4_rw_spec_audit_reads_entry() {
+        let w = world();
+        let dom = w.domain_by_name("g").unwrap();
+        let l4 = w.hv().domain(dom).unwrap().cr3().unwrap();
+        // Slot 300 holds nothing -> audit absent; slot 256 holds the
+        // (present, RW) hypervisor stitch -> audit present.
+        let absent = ErroneousStateSpec::SetL4EntryRw { l4, index: 300 };
+        assert!(!absent.audit(&w).present);
+        let present = ErroneousStateSpec::SetL4EntryRw { l4, index: 256 };
+        assert!(present.audit(&w).present);
+        assert!(present.audit(&w).evidence.contains("page_directory[256]"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let spec = ErroneousStateSpec::WriteLinear {
+            addr: 0,
+            bytes: vec![],
+        };
+        assert_eq!(spec.label(), "write linear address");
+        assert_eq!(spec.to_string(), "write linear address");
+    }
+}

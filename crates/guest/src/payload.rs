@@ -1,0 +1,122 @@
+//! The recognizable "shellcode" blob.
+//!
+//! The XSA-212-priv exploit hides attacker code in physical memory, maps
+//! it at a virtual address every PV guest can reach, and executes it in
+//! every domain by registering it as an interrupt handler. The simulator
+//! cannot execute machine code, so the injected code is a structured blob:
+//! a magic header plus a serialized [`PayloadCommand`] the [`World`]
+//! interprets *with kernel privileges in each domain it executes in* —
+//! which is exactly the security property the experiment measures.
+//!
+//! [`World`]: crate::World
+
+use serde::{Deserialize, Serialize};
+
+/// Magic header identifying an executable payload blob.
+pub const PAYLOAD_MAGIC: u32 = 0xb4c0_de77;
+
+/// What the payload does when executed in a domain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PayloadCommand {
+    /// Run a command as root and drop its output into a file — the
+    /// `./attack 'echo "|$(id)|@$(hostname)"' > /tmp/injector_log`
+    /// behaviour of the original PoC. The template may contain `$(id)`
+    /// and `$(hostname)`, expanded per domain at execution time.
+    DropRootFile {
+        /// Target path in each domain's VFS.
+        path: String,
+        /// Content template (`$(id)`, `$(hostname)` are expanded).
+        template: String,
+    },
+    /// Append a marker line to each domain's kernel log (a benign
+    /// payload used by tests and ablations).
+    KlogMarker {
+        /// The marker text.
+        marker: String,
+    },
+}
+
+/// A payload blob: magic + command.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Payload {
+    /// The command to run in each domain.
+    pub command: PayloadCommand,
+}
+
+impl Payload {
+    /// The classic PoC payload.
+    pub fn drop_root_file(path: &str, template: &str) -> Self {
+        Self {
+            command: PayloadCommand::DropRootFile {
+                path: path.to_owned(),
+                template: template.to_owned(),
+            },
+        }
+    }
+
+    /// Serializes the blob (magic, little-endian length, JSON body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = serde_json::to_vec(self).expect("payload serializes");
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(&PAYLOAD_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses a blob from memory. Returns `None` if the magic or body is
+    /// malformed — executing garbage is a fault, not a panic.
+    pub fn parse(bytes: &[u8]) -> Option<Payload> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let magic = u32::from_le_bytes(bytes[..4].try_into().ok()?);
+        if magic != PAYLOAD_MAGIC {
+            return None;
+        }
+        let len = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let body = bytes.get(8..8 + len)?;
+        serde_json::from_slice(body).ok()
+    }
+
+    /// Expands a content template for one domain.
+    pub fn expand_template(template: &str, uid_id_string: &str, hostname: &str) -> String {
+        template
+            .replace("$(id)", uid_id_string)
+            .replace("$(hostname)", hostname)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Payload::drop_root_file("/tmp/injector_log", "|$(id)|@$(hostname)");
+        let bytes = p.to_bytes();
+        assert_eq!(Payload::parse(&bytes), Some(p));
+    }
+
+    #[test]
+    fn garbage_is_not_a_payload() {
+        assert_eq!(Payload::parse(&[0u8; 32]), None);
+        assert_eq!(Payload::parse(b"\x77\xde\xc0\xb4garbage-len"), None);
+        assert_eq!(Payload::parse(&[]), None);
+        // Correct magic, truncated body.
+        let mut bytes = Payload::drop_root_file("/x", "y").to_bytes();
+        bytes.truncate(10);
+        assert_eq!(Payload::parse(&bytes), None);
+    }
+
+    #[test]
+    fn template_expansion_matches_poc_output() {
+        let s = Payload::expand_template(
+            "|$(id)|@$(hostname)",
+            "uid=0(root) gid=0(root) groups=0(root)",
+            "xen3",
+        );
+        assert_eq!(s, "|uid=0(root) gid=0(root) groups=0(root)|@xen3");
+    }
+}

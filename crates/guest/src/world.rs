@@ -1,0 +1,717 @@
+//! The [`World`]: hypervisor + guest kernels + attacker network, as one
+//! deterministic unit.
+//!
+//! Everything the paper's experiments observe happens through the world:
+//! payload execution via forged interrupt handlers (XSA-212-priv), vDSO
+//! backdoor activation and reverse shells (XSA-148-priv), hypervisor
+//! crashes (XSA-212-crash), and the file-system evidence the monitors
+//! check afterwards.
+
+use crate::kernel::GuestKernel;
+use crate::net::{RemoteHost, SessionId};
+use crate::payload::{Payload, PayloadCommand};
+use crate::process::Uid;
+use crate::vdso::Backdoor;
+use crate::vfs::{FileMode, VfsError};
+use hvsim::{BuildConfig, HvError, Hypervisor, XenVersion};
+use hvsim_mem::{DomainId, VirtAddr, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from world-level operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorldError {
+    /// A hypervisor error.
+    Hv(HvError),
+    /// A filesystem error.
+    Vfs(VfsError),
+    /// No kernel booted in that domain.
+    NoGuest(DomainId),
+    /// No such shell session.
+    NoSession,
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::Hv(e) => write!(f, "hypervisor: {e}"),
+            WorldError::Vfs(e) => write!(f, "vfs: {e}"),
+            WorldError::NoGuest(d) => write!(f, "no guest kernel in {d}"),
+            WorldError::NoSession => f.write_str("no such shell session"),
+        }
+    }
+}
+
+impl Error for WorldError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorldError::Hv(e) => Some(e),
+            WorldError::Vfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HvError> for WorldError {
+    fn from(e: HvError) -> Self {
+        WorldError::Hv(e)
+    }
+}
+
+impl From<VfsError> for WorldError {
+    fn from(e: VfsError) -> Self {
+        WorldError::Vfs(e)
+    }
+}
+
+/// Per-domain outcome of executing a forged interrupt handler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HandlerOutcome {
+    /// The payload executed with kernel privileges.
+    Executed,
+    /// The handler address did not translate / was not executable in
+    /// this domain's context (the hardened-layout shield).
+    Faulted(String),
+    /// The handler pointed at bytes that are not a payload (real
+    /// hardware would execute garbage; the simulator reports it).
+    Garbage,
+}
+
+/// Builds a [`World`].
+#[derive(Clone, Debug)]
+pub struct WorldBuilder {
+    version: XenVersion,
+    injector: bool,
+    frames: usize,
+    dom0_pages: u64,
+    guests: Vec<(String, u64)>,
+    remote_host: String,
+    remote_port: u16,
+}
+
+impl WorldBuilder {
+    /// A world on the given Xen version with a privileged dom0 and no
+    /// additional guests yet.
+    pub fn new(version: XenVersion) -> Self {
+        Self {
+            version,
+            injector: false,
+            frames: 4096,
+            dom0_pages: 96,
+            guests: Vec::new(),
+            remote_host: "10.3.1.99".to_owned(),
+            remote_port: 1234,
+        }
+    }
+
+    /// Compiles the injector hypercall into the build.
+    #[must_use]
+    pub fn injector(mut self, enabled: bool) -> Self {
+        self.injector = enabled;
+        self
+    }
+
+    /// Sets installed machine frames.
+    #[must_use]
+    pub fn frames(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Adds an unprivileged guest.
+    #[must_use]
+    pub fn guest(mut self, name: &str, pages: u64) -> Self {
+        self.guests.push((name.to_owned(), pages));
+        self
+    }
+
+    /// Builds and boots the world: hypervisor, dom0, guests, kernels,
+    /// seeded filesystems.
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot failures.
+    pub fn build(self) -> Result<World, WorldError> {
+        let mut hv = Hypervisor::new(
+            BuildConfig::new(self.version)
+                .injector(self.injector)
+                .frames(self.frames),
+        );
+        let dom0 = hv.create_domain("xen3", true, self.dom0_pages)?;
+        let mut kernels = BTreeMap::new();
+        let mut k0 = GuestKernel::boot(&mut hv, dom0)?;
+        // dom0 runs a root process that periodically calls the vDSO (the
+        // hook the XSA-148 backdoor fires through) and holds the secret
+        // the paper's reverse-shell transcript reads.
+        k0.spawn("cron", Uid::ROOT, true);
+        k0.vfs_mut().write(
+            "/root/root_msg",
+            Uid::ROOT,
+            FileMode::OwnerOnly,
+            b"Confidential content in root folder!",
+        )?;
+        kernels.insert(dom0, k0);
+        for (name, pages) in &self.guests {
+            let dom = hv.create_domain(name, false, *pages)?;
+            let mut k = GuestKernel::boot(&mut hv, dom)?;
+            k.spawn("bash", Uid::new(1000), true);
+            kernels.insert(dom, k);
+        }
+        Ok(World {
+            hv,
+            dom0,
+            kernels,
+            remote: RemoteHost::new(&self.remote_host, self.remote_port),
+        })
+    }
+}
+
+/// Hypervisor, guests and attacker network in one deterministic unit.
+#[derive(Clone, Debug)]
+pub struct World {
+    hv: Hypervisor,
+    dom0: DomainId,
+    kernels: BTreeMap<DomainId, GuestKernel>,
+    remote: RemoteHost,
+}
+
+impl World {
+    /// The hypervisor.
+    pub fn hv(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Mutable hypervisor access (hypercalls are `&mut`).
+    pub fn hv_mut(&mut self) -> &mut Hypervisor {
+        &mut self.hv
+    }
+
+    /// The privileged control domain.
+    pub fn dom0(&self) -> DomainId {
+        self.dom0
+    }
+
+    /// Ids of all domains with booted kernels, in order.
+    pub fn domains(&self) -> Vec<DomainId> {
+        self.kernels.keys().copied().collect()
+    }
+
+    /// Finds a domain by name.
+    pub fn domain_by_name(&self, name: &str) -> Option<DomainId> {
+        self.kernels
+            .iter()
+            .find(|(_, k)| k.hostname() == name)
+            .map(|(&d, _)| d)
+    }
+
+    /// The kernel of a domain.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::NoGuest`] for unknown domains.
+    pub fn kernel(&self, dom: DomainId) -> Result<&GuestKernel, WorldError> {
+        self.kernels.get(&dom).ok_or(WorldError::NoGuest(dom))
+    }
+
+    /// Mutable kernel access.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::NoGuest`] for unknown domains.
+    pub fn kernel_mut(&mut self, dom: DomainId) -> Result<&mut GuestKernel, WorldError> {
+        self.kernels.get_mut(&dom).ok_or(WorldError::NoGuest(dom))
+    }
+
+    /// Splits the world into the hypervisor and one kernel — the pattern
+    /// exploit code uses constantly (`kernel.write(hv, ...)`).
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::NoGuest`] for unknown domains.
+    pub fn hv_and_kernel_mut(
+        &mut self,
+        dom: DomainId,
+    ) -> Result<(&mut Hypervisor, &mut GuestKernel), WorldError> {
+        let kernel = self.kernels.get_mut(&dom).ok_or(WorldError::NoGuest(dom))?;
+        Ok((&mut self.hv, kernel))
+    }
+
+    /// The attacker-side listener.
+    pub fn remote(&self) -> &RemoteHost {
+        &self.remote
+    }
+
+    /// Mutable listener access (e.g. to start listening).
+    pub fn remote_mut(&mut self) -> &mut RemoteHost {
+        &mut self.remote
+    }
+
+    // ------------------------------------------------------------------
+    // Execution semantics
+    // ------------------------------------------------------------------
+
+    /// A guest invokes `int <vector>`; the gate's handler address is then
+    /// "executed" in **every** live domain's context, as the XSA-212-priv
+    /// strategy does by registering its payload for every CPU.
+    ///
+    /// Per domain, execution means: the handler VA must translate and be
+    /// executable in that domain's context (layout veto + page walk + NX),
+    /// and the bytes there must parse as a [`Payload`]; the payload then
+    /// runs with kernel privileges in that domain.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError`]-derived errors if the interrupt itself cannot be
+    /// dispatched (gate not present, hypervisor crashed).
+    pub fn invoke_interrupt(
+        &mut self,
+        dom: DomainId,
+        vector: u8,
+    ) -> Result<Vec<(DomainId, HandlerOutcome)>, WorldError> {
+        let dispatch = self.hv.software_interrupt(dom, vector)?;
+        let targets = self.domains();
+        let mut results = Vec::with_capacity(targets.len());
+        for d in targets {
+            if self.hv.domain(d).map(|x| x.is_dead()).unwrap_or(true) {
+                continue;
+            }
+            let outcome = self.execute_at(d, dispatch.handler);
+            results.push((d, outcome));
+        }
+        Ok(results)
+    }
+
+    fn execute_at(&mut self, dom: DomainId, va: VirtAddr) -> HandlerOutcome {
+        let translation = match self.hv.guest_exec_va(dom, va) {
+            Ok(t) => t,
+            Err(e) => return HandlerOutcome::Faulted(e.to_string()),
+        };
+        let take = PAGE_SIZE - translation.phys.page_offset();
+        let mut bytes = vec![0u8; take.min(2048)];
+        if self.hv.mem().read(translation.phys, &mut bytes).is_err() {
+            return HandlerOutcome::Faulted("code fetch failed".into());
+        }
+        match Payload::parse(&bytes) {
+            Some(payload) => {
+                self.apply_payload(dom, &payload);
+                HandlerOutcome::Executed
+            }
+            None => HandlerOutcome::Garbage,
+        }
+    }
+
+    fn apply_payload(&mut self, dom: DomainId, payload: &Payload) {
+        let hostname = self
+            .kernels
+            .get(&dom)
+            .map(|k| k.hostname().to_owned())
+            .unwrap_or_default();
+        match &payload.command {
+            PayloadCommand::DropRootFile { path, template } => {
+                let content =
+                    Payload::expand_template(template, &Uid::ROOT.id_string(), &hostname);
+                if let Some(k) = self.kernels.get_mut(&dom) {
+                    // Kernel-privileged: writes as root regardless of any
+                    // user-space permission.
+                    let _ = k.vfs_mut().write(path, Uid::ROOT, FileMode::PublicRead, content.as_bytes());
+                }
+            }
+            PayloadCommand::KlogMarker { marker } => {
+                if let Some(k) = self.kernels.get_mut(&dom) {
+                    k.klog(format!("payload: {marker}"));
+                }
+            }
+        }
+    }
+
+    /// Advances "time": every process that calls into the vDSO does so
+    /// once. If a domain's vDSO has been backdoored, each such call opens
+    /// a reverse shell to the remote host with the *calling process's*
+    /// privileges. Returns the sessions established this tick.
+    pub fn tick_vdso(&mut self) -> Vec<SessionId> {
+        let mut sessions = Vec::new();
+        let doms = self.domains();
+        for dom in doms {
+            if self.hv.domain(dom).map(|d| d.is_dead()).unwrap_or(true) {
+                continue;
+            }
+            let Ok(kernel) = self.kernel(dom) else { continue };
+            let Ok(vdso_mfn) = kernel.vdso_mfn(&self.hv) else { continue };
+            let mut image = vec![0u8; PAGE_SIZE];
+            if self.hv.mem().read(vdso_mfn.base(), &mut image).is_err() {
+                continue;
+            }
+            let Some(backdoor) = Backdoor::parse(&image) else { continue };
+            if backdoor.host != self.remote.host() || backdoor.port != self.remote.port() {
+                continue;
+            }
+            let callers: Vec<Uid> = kernel
+                .processes()
+                .iter()
+                .filter(|p| p.calls_vdso)
+                .map(|p| p.uid)
+                .collect();
+            for uid in callers {
+                if let Some(id) = self.remote.accept(dom, uid, "10.3.1.181") {
+                    sessions.push(id);
+                }
+            }
+        }
+        sessions
+    }
+
+    /// Executes a shell command over an established reverse-shell
+    /// session, with the session's privileges, against the compromised
+    /// domain's filesystem. Supports the command mix of the paper's
+    /// transcript: `whoami`, `hostname`, `id`, `cat <path>`, and `&&`
+    /// chaining.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::NoSession`] for unknown sessions.
+    pub fn shell_exec(&mut self, session: SessionId, cmd: &str) -> Result<String, WorldError> {
+        let (dom, uid) = {
+            let s = self.remote.session(session).ok_or(WorldError::NoSession)?;
+            (s.domain, s.uid)
+        };
+        let mut outputs = Vec::new();
+        for part in cmd.split("&&").map(str::trim).filter(|p| !p.is_empty()) {
+            outputs.push(self.shell_one(dom, uid, part)?);
+        }
+        let output = outputs.join("\n");
+        if let Some(s) = self.remote.session_mut(session) {
+            s.transcript.push((cmd.to_owned(), output.clone()));
+        }
+        Ok(output)
+    }
+
+    fn shell_one(&mut self, dom: DomainId, uid: Uid, cmd: &str) -> Result<String, WorldError> {
+        let kernel = self.kernel(dom)?;
+        let out = match cmd {
+            "whoami" => uid.name(),
+            "hostname" => kernel.hostname().to_owned(),
+            "id" => uid.id_string(),
+            _ if cmd.starts_with("cat ") => {
+                let path = cmd[4..].trim();
+                match kernel.vfs().read(path, uid) {
+                    Ok(data) => String::from_utf8_lossy(data).into_owned(),
+                    Err(e) => format!("cat: {e}"),
+                }
+            }
+            _ if cmd.starts_with("ls ") => {
+                let prefix = cmd[3..].trim();
+                kernel
+                    .vfs()
+                    .paths()
+                    .filter(|p| p.starts_with(prefix))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+            other => format!("sh: {other}: command not found"),
+        };
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Observation helpers (used by monitors and tests)
+    // ------------------------------------------------------------------
+
+    /// `true` if `path` exists in **every** live domain — the paper's
+    /// XSA-212-priv success criterion ("a file appears in every domain").
+    pub fn file_in_all_domains(&self, path: &str) -> bool {
+        !self.kernels.is_empty() && self.kernels.values().all(|k| k.vfs().exists(path))
+    }
+
+    /// Domains in which `path` exists.
+    pub fn domains_with_file(&self, path: &str) -> Vec<DomainId> {
+        self.kernels
+            .iter()
+            .filter(|(_, k)| k.vfs().exists(path))
+            .map(|(&d, _)| d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vdso::{Backdoor, VDSO_ENTRY_OFFSET};
+    use hvsim::{AccessMode, IdtEntry, PteFlags};
+    use hvsim_mem::Mfn;
+    use hvsim_paging::{PageTableEntry, VaIndices, LINEAR_PT_START};
+
+    fn small_world(version: XenVersion) -> World {
+        WorldBuilder::new(version)
+            .injector(true)
+            .guest("xen2", 64)
+            .guest("guest03", 64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_boots_dom0_and_guests() {
+        let w = small_world(XenVersion::V4_6);
+        assert_eq!(w.domains().len(), 3);
+        assert!(w.hv().domain(w.dom0()).unwrap().is_privileged());
+        assert_eq!(w.domain_by_name("xen2"), Some(w.domains()[1]));
+        assert!(w.kernel(w.dom0()).unwrap().vfs().exists("/root/root_msg"));
+    }
+
+    #[test]
+    fn unknown_domain_is_an_error() {
+        let mut w = small_world(XenVersion::V4_6);
+        assert!(matches!(
+            w.kernel(DomainId::new(99)),
+            Err(WorldError::NoGuest(_))
+        ));
+        assert!(w.kernel_mut(DomainId::new(99)).is_err());
+    }
+
+    /// Full XSA-212-priv-style payload flow, using the injector as the
+    /// write primitive (the exploit crate does the same with
+    /// memory_exchange on vulnerable builds).
+    fn install_payload_via_injector(w: &mut World, attacker: DomainId) -> VirtAddr {
+        let payload_va = VirtAddr::new(LINEAR_PT_START);
+        let idx = VaIndices::of(payload_va);
+        let (hv, kernel) = w.hv_and_kernel_mut(attacker).unwrap();
+        let (_, pmd, _) = kernel.alloc_heap_page(hv).unwrap();
+        let (_, pt, _) = kernel.alloc_heap_page(hv).unwrap();
+        let (_, payload_frame, payload_heap_va) = kernel.alloc_heap_page(hv).unwrap();
+        let link = PteFlags::PRESENT | PteFlags::RW | PteFlags::USER;
+        // Forge PT and PMD contents (plain data writes into own frames —
+        // these frames are *not* typed as page tables).
+        hv.guest_write_frame(
+            attacker,
+            pt,
+            idx.l1 * 8,
+            &PageTableEntry::new(payload_frame, link).raw().to_le_bytes(),
+        )
+        .unwrap();
+        hv.guest_write_frame(
+            attacker,
+            pmd,
+            idx.l2 * 8,
+            &PageTableEntry::new(pt, link).raw().to_le_bytes(),
+        )
+        .unwrap();
+        // Write the payload blob into the payload frame.
+        let blob = Payload::drop_root_file("/tmp/injector_log", "|$(id)|@$(hostname)").to_bytes();
+        kernel.write(hv, payload_heap_va, &blob).unwrap();
+        // Link the forged PMD into the shared hypervisor L3.
+        let l3_slot = hv.shared_l3_mfn().base().offset(idx.l3 as u64 * 8).raw();
+        let mut entry = PageTableEntry::new(pmd, link).raw().to_le_bytes().to_vec();
+        hv.hc_arbitrary_access(attacker, l3_slot, &mut entry, AccessMode::PhysWrite)
+            .unwrap();
+        // Register an IDT gate for vector 0x80 pointing at the payload VA.
+        let gate = IdtEntry {
+            offset: payload_va,
+            selector: IdtEntry::XEN_CS,
+            dpl: 3,
+            present: true,
+        };
+        let gate_va = hv.sidt(0).offset(IdtEntry::slot_offset(0x80) as u64);
+        let mut packed = gate.pack().to_vec();
+        hv.hc_arbitrary_access(attacker, gate_va.raw(), &mut packed, AccessMode::LinearWrite)
+            .unwrap();
+        payload_va
+    }
+
+    #[test]
+    fn payload_executes_in_every_domain_pre_hardening() {
+        let mut w = small_world(XenVersion::V4_8);
+        let attacker = w.domain_by_name("guest03").unwrap();
+        install_payload_via_injector(&mut w, attacker);
+        let results = w.invoke_interrupt(attacker, 0x80).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|(_, o)| *o == HandlerOutcome::Executed));
+        assert!(w.file_in_all_domains("/tmp/injector_log"));
+        let content = w
+            .kernel(w.dom0())
+            .unwrap()
+            .vfs()
+            .read("/tmp/injector_log", Uid::new(1000))
+            .unwrap()
+            .to_vec();
+        assert_eq!(
+            String::from_utf8(content).unwrap(),
+            "|uid=0(root) gid=0(root) groups=0(root)|@xen3"
+        );
+    }
+
+    #[test]
+    fn payload_blocked_by_hardened_layout() {
+        let mut w = small_world(XenVersion::V4_13);
+        let attacker = w.domain_by_name("guest03").unwrap();
+        install_payload_via_injector(&mut w, attacker);
+        let results = w.invoke_interrupt(attacker, 0x80).unwrap();
+        assert!(results
+            .iter()
+            .all(|(_, o)| matches!(o, HandlerOutcome::Faulted(_))));
+        assert!(!w.file_in_all_domains("/tmp/injector_log"));
+        assert_eq!(w.domains_with_file("/tmp/injector_log"), vec![]);
+    }
+
+    #[test]
+    fn vdso_backdoor_opens_root_reverse_shell() {
+        let mut w = small_world(XenVersion::V4_6);
+        w.remote_mut().listen();
+        // Patch dom0's vDSO directly in machine memory (what the XSA-148
+        // exploit does through its crafted superpage window).
+        let dom0 = w.dom0();
+        let vdso_mfn = w.kernel(dom0).unwrap().vdso_mfn(w.hv()).unwrap();
+        let backdoor = Backdoor {
+            host: w.remote().host().to_owned(),
+            port: w.remote().port(),
+        };
+        let blob = backdoor.to_bytes();
+        let attacker = w.domain_by_name("xen2").unwrap();
+        let mut data = blob.clone();
+        w.hv_mut()
+            .hc_arbitrary_access(
+                attacker,
+                vdso_mfn.base().offset(VDSO_ENTRY_OFFSET as u64).raw(),
+                &mut data,
+                AccessMode::PhysWrite,
+            )
+            .unwrap();
+        let sessions = w.tick_vdso();
+        assert_eq!(sessions.len(), 1, "dom0's root cron tripped the backdoor");
+        let sid = sessions[0];
+        assert_eq!(w.shell_exec(sid, "whoami && hostname").unwrap(), "root\nxen3");
+        assert_eq!(
+            w.shell_exec(sid, "cat /root/root_msg").unwrap(),
+            "Confidential content in root folder!"
+        );
+        let transcript = &w.remote().session(sid).unwrap().transcript;
+        assert_eq!(transcript.len(), 2);
+    }
+
+    #[test]
+    fn pristine_vdso_opens_nothing() {
+        let mut w = small_world(XenVersion::V4_13);
+        w.remote_mut().listen();
+        assert!(w.tick_vdso().is_empty());
+        assert!(w.remote().sessions().is_empty());
+    }
+
+    #[test]
+    fn backdoor_to_wrong_port_is_lost() {
+        let mut w = small_world(XenVersion::V4_6);
+        w.remote_mut().listen();
+        let dom0 = w.dom0();
+        let vdso_mfn = w.kernel(dom0).unwrap().vdso_mfn(w.hv()).unwrap();
+        let blob = Backdoor {
+            host: "10.9.9.9".into(),
+            port: 4444,
+        }
+        .to_bytes();
+        let attacker = w.domain_by_name("xen2").unwrap();
+        let mut data = blob;
+        w.hv_mut()
+            .hc_arbitrary_access(
+                attacker,
+                vdso_mfn.base().offset(VDSO_ENTRY_OFFSET as u64).raw(),
+                &mut data,
+                AccessMode::PhysWrite,
+            )
+            .unwrap();
+        assert!(w.tick_vdso().is_empty());
+    }
+
+    #[test]
+    fn shell_unknown_command() {
+        let mut w = small_world(XenVersion::V4_6);
+        w.remote_mut().listen();
+        let sid = w
+            .remote_mut()
+            .accept(DomainId::DOM0, Uid::new(1000), "peer")
+            .unwrap();
+        let out = w.shell_exec(sid, "rm -rf /").unwrap();
+        assert!(out.contains("command not found"));
+        assert!(matches!(
+            w.shell_exec(SessionId(42), "id"),
+            Err(WorldError::NoSession)
+        ));
+    }
+
+    #[test]
+    fn shell_permissions_respected() {
+        let mut w = small_world(XenVersion::V4_6);
+        w.remote_mut().listen();
+        let dom0 = w.dom0();
+        let sid = w
+            .remote_mut()
+            .accept(dom0, Uid::new(1000), "peer")
+            .unwrap();
+        let out = w.shell_exec(sid, "cat /root/root_msg").unwrap();
+        assert!(out.contains("permission denied"));
+    }
+
+    #[test]
+    fn invoke_interrupt_with_garbage_handler() {
+        let mut w = small_world(XenVersion::V4_6);
+        let attacker = w.domain_by_name("xen2").unwrap();
+        // Point vector 0x80 at a mapped guest data page containing zeroes.
+        let kernel_data_va = {
+            let (hv, kernel) = w.hv_and_kernel_mut(attacker).unwrap();
+            let (_, _, va) = kernel.alloc_heap_page(hv).unwrap();
+            va
+        };
+        let gate = IdtEntry {
+            offset: kernel_data_va,
+            selector: IdtEntry::XEN_CS,
+            dpl: 3,
+            present: true,
+        };
+        let gate_va = w.hv().sidt(0).offset(IdtEntry::slot_offset(0x80) as u64);
+        let mut packed = gate.pack().to_vec();
+        w.hv_mut()
+            .hc_arbitrary_access(attacker, gate_va.raw(), &mut packed, AccessMode::LinearWrite)
+            .unwrap();
+        let results = w.invoke_interrupt(attacker, 0x80).unwrap();
+        // The attacker's own domain fetches zeroes (garbage); other
+        // domains either fetch their own unrelated bytes (garbage) or
+        // fault if the VA is unmapped in their context. Crucially,
+        // nothing *executes*.
+        let own = results.iter().find(|(d, _)| *d == attacker).unwrap();
+        assert_eq!(own.1, HandlerOutcome::Garbage);
+        assert!(results.iter().all(|(_, o)| *o != HandlerOutcome::Executed));
+    }
+
+    #[test]
+    fn crash_kills_all_domains_and_interrupts() {
+        let mut w = small_world(XenVersion::V4_6);
+        let attacker = w.domain_by_name("xen2").unwrap();
+        w.hv_mut().crash("test crash");
+        assert!(w.hv().is_crashed());
+        assert!(matches!(
+            w.invoke_interrupt(attacker, 0x80),
+            Err(WorldError::Hv(HvError::Crashed))
+        ));
+        assert!(w.tick_vdso().is_empty());
+    }
+
+    #[test]
+    fn shared_l3_is_truly_shared_between_guests() {
+        // The same L3 frame is stitched into every guest's L4 — the
+        // property the XSA-212-priv strategy exploits to reach all
+        // domains at once.
+        let w = small_world(XenVersion::V4_8);
+        let mut l3s = Vec::new();
+        for d in w.domains() {
+            let cr3 = w.hv().domain(d).unwrap().cr3().unwrap();
+            let raw = w
+                .hv()
+                .mem()
+                .read_u64(cr3.base().offset(256 * 8))
+                .unwrap();
+            l3s.push(PageTableEntry::from_raw(raw).mfn());
+        }
+        assert!(l3s.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(l3s[0], w.hv().shared_l3_mfn());
+        assert_ne!(l3s[0], Mfn::new(0));
+    }
+}

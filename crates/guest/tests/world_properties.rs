@@ -1,0 +1,149 @@
+//! Property-based tests over the guest layer: the transactional store's
+//! ACID checker, world determinism, and shell-session behaviour under
+//! arbitrary command sequences.
+
+use guestos::{FileMode, TxnStore, Uid, World, WorldBuilder};
+use hvsim::XenVersion;
+use proptest::prelude::*;
+
+fn app_world() -> (World, hvsim_mem::DomainId) {
+    let w = WorldBuilder::new(XenVersion::V4_8)
+        .injector(true)
+        .guest("app", 64)
+        .build()
+        .unwrap();
+    let dom = w.domain_by_name("app").unwrap();
+    (w, dom)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any sequence of puts leaves the store consistent, with every
+    /// committed value readable.
+    #[test]
+    fn txn_store_consistent_under_random_puts(
+        ops in proptest::collection::vec((1u64..64, any::<u64>()), 1..40),
+    ) {
+        let (mut w, dom) = app_world();
+        let store = TxnStore::create(&mut w, dom, 64).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (k, v) in &ops {
+            store.put(&mut w, *k, *v).unwrap();
+            model.insert(*k, *v);
+        }
+        let report = store.check(&mut w).unwrap();
+        prop_assert!(report.is_consistent(), "{report:?}");
+        prop_assert_eq!(report.occupied_slots, model.len());
+        for (k, v) in model {
+            prop_assert_eq!(store.get(&mut w, k).unwrap(), Some(v));
+        }
+    }
+
+    /// Single-byte corruption anywhere in an occupied data slot is
+    /// always detected (no silent checksum collisions for byte flips).
+    #[test]
+    fn txn_store_detects_any_single_byte_flip(
+        key in 1u64..16,
+        value in 1u64..u64::MAX,
+        offset in 0usize..24,
+        flip in 1u8..=255,
+    ) {
+        let (mut w, dom) = app_world();
+        let store = TxnStore::create(&mut w, dom, 16).unwrap();
+        store.put(&mut w, key, value).unwrap();
+        // Corrupt one byte of slot 0 directly in machine memory.
+        let base = store.data_mfn().base().offset(offset as u64);
+        let mut byte = [0u8; 1];
+        w.hv().mem().read(base, &mut byte).unwrap();
+        let corrupted = [byte[0] ^ flip];
+        let attacker = dom;
+        w.hv_mut()
+            .hc_arbitrary_access(attacker, base.raw(), &mut corrupted.clone().to_vec(), hvsim::AccessMode::PhysWrite)
+            .unwrap();
+        let report = store.check(&mut w).unwrap();
+        prop_assert!(
+            !report.is_consistent() || report.occupied_slots == 0,
+            "flip of byte {offset} by {flip:#x} went undetected: {report:?}"
+        );
+    }
+
+    /// Shell sessions never panic on arbitrary command strings and never
+    /// leak root-only content to unprivileged sessions.
+    #[test]
+    fn shell_is_total_and_respects_privileges(
+        cmds in proptest::collection::vec("[ -~]{0,40}", 1..12),
+    ) {
+        let (mut w, _) = app_world();
+        w.remote_mut().listen();
+        let dom0 = w.dom0();
+        w.kernel_mut(dom0)
+            .unwrap()
+            .vfs_mut()
+            .write("/root/secret", Uid::ROOT, FileMode::OwnerOnly, b"TOPSECRET")
+            .unwrap();
+        let sid = w.remote_mut().accept(dom0, Uid::new(1000), "peer").unwrap();
+        for cmd in &cmds {
+            let out = w.shell_exec(sid, cmd).unwrap();
+            prop_assert!(!out.contains("TOPSECRET"), "cmd {cmd:?} leaked: {out}");
+        }
+        // And root sessions do read it.
+        let root_sid = w.remote_mut().accept(dom0, Uid::ROOT, "peer").unwrap();
+        let out = w.shell_exec(root_sid, "cat /root/secret").unwrap();
+        prop_assert_eq!(out, "TOPSECRET");
+    }
+}
+
+/// Two worlds built from the same configuration are byte-for-byte
+/// deterministic: same frame layout, same p2m maps, same vDSO frames.
+#[test]
+fn world_construction_is_deterministic() {
+    let build = || {
+        WorldBuilder::new(XenVersion::V4_13)
+            .injector(true)
+            .guest("a", 48)
+            .guest("b", 32)
+            .build()
+            .unwrap()
+    };
+    let w1 = build();
+    let w2 = build();
+    assert_eq!(w1.domains(), w2.domains());
+    for d in w1.domains() {
+        let p1: Vec<_> = w1.hv().domain(d).unwrap().p2m_iter().collect();
+        let p2: Vec<_> = w2.hv().domain(d).unwrap().p2m_iter().collect();
+        assert_eq!(p1, p2, "{d} p2m");
+        assert_eq!(
+            w1.kernel(d).unwrap().tables(),
+            w2.kernel(d).unwrap().tables(),
+            "{d} tables"
+        );
+    }
+    // Full machine memory comparison.
+    let frames = w1.hv().mem().frame_count();
+    let mut b1 = [0u8; 4096];
+    let mut b2 = [0u8; 4096];
+    for f in 0..frames {
+        w1.hv().mem().read_frame(hvsim_mem::Mfn::new(f), &mut b1).unwrap();
+        w2.hv().mem().read_frame(hvsim_mem::Mfn::new(f), &mut b2).unwrap();
+        assert_eq!(b1, b2, "frame {f} differs");
+    }
+}
+
+/// Kernel logs carry monotonically non-decreasing timestamps.
+#[test]
+fn klog_timestamps_monotonic() {
+    let (mut w, dom) = app_world();
+    let k = w.kernel_mut(dom).unwrap();
+    for i in 0..50 {
+        k.klog(format!("line {i}"));
+    }
+    let stamps: Vec<&str> = k
+        .log()
+        .iter()
+        .map(|l| l.split(']').next().unwrap())
+        .collect();
+    let mut sorted = stamps.clone();
+    sorted.sort();
+    assert_eq!(stamps, sorted);
+}

@@ -1,0 +1,250 @@
+//! The hypervisor audit log.
+//!
+//! Every security-relevant event — validation rejections, page-table
+//! writes, exception deliveries, injector activity — is recorded here.
+//! The intrusion-injection monitor replays this log to decide whether an
+//! injected erroneous state equals an exploit-induced one (the paper's
+//! "page-table walk audit" plus console-output comparison, §VI-C).
+
+use hvsim_mem::{DomainId, Mfn, PhysAddr, VirtAddr};
+use serde::Serialize;
+use std::fmt;
+
+/// How a page-table entry came to be written.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum WriteOrigin {
+    /// Through validated `mmu_update` / `update_va_mapping`.
+    Validated,
+    /// Through a vulnerable fast path that skipped validation.
+    VulnerableFastPath,
+    /// Through the unchecked hypervisor write primitive of XSA-212.
+    UncheckedCopy,
+    /// Through the injector hypercall.
+    Injector,
+}
+
+/// One audited event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[non_exhaustive]
+pub enum AuditEvent {
+    /// A hypercall was dispatched.
+    Hypercall {
+        /// Calling domain.
+        dom: DomainId,
+        /// Hypercall name.
+        name: &'static str,
+        /// errno-style result (0 on success).
+        result: i64,
+    },
+    /// A validation check rejected a request.
+    ValidationRejected {
+        /// Calling domain.
+        dom: DomainId,
+        /// The check that fired (e.g. `"l2_pse"`, `"l4_fastpath"`).
+        check: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A page-table entry was written.
+    PteWritten {
+        /// Domain whose tables changed.
+        dom: DomainId,
+        /// Physical slot that was written.
+        slot: PhysAddr,
+        /// Previous raw value.
+        old: u64,
+        /// New raw value.
+        new: u64,
+        /// How the write happened.
+        origin: WriteOrigin,
+    },
+    /// Hypervisor memory was written outside page-table maintenance.
+    HypervisorWrite {
+        /// Domain that caused the write.
+        dom: DomainId,
+        /// Target physical address.
+        phys: PhysAddr,
+        /// Length in bytes.
+        len: usize,
+        /// How the write happened.
+        origin: WriteOrigin,
+    },
+    /// An exception was delivered.
+    Exception {
+        /// Vector number (14 = #PF, 8 = #DF).
+        vector: u8,
+        /// Faulting/linear address if applicable.
+        addr: Option<VirtAddr>,
+        /// Whether delivery succeeded (a corrupted IDT makes it escalate).
+        delivered: bool,
+    },
+    /// The hypervisor panicked.
+    Crash {
+        /// Panic message (mirrors the Xen console output).
+        message: String,
+    },
+    /// The injector hypercall performed an access.
+    InjectorAccess {
+        /// Calling domain.
+        dom: DomainId,
+        /// Raw target address (linear or physical per `mode`).
+        addr: u64,
+        /// Access length.
+        len: usize,
+        /// Mode name (`"linear"`/`"physical"`, `"read"`/`"write"`).
+        mode: &'static str,
+    },
+    /// A frame changed owner or was freed while references remained —
+    /// the "keep page reference" family of erroneous states.
+    DanglingReference {
+        /// Domain holding the stale reference.
+        dom: DomainId,
+        /// The frame concerned.
+        mfn: Mfn,
+        /// Detail (which operation leaked it).
+        detail: String,
+    },
+}
+
+impl fmt::Display for AuditEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditEvent::Hypercall { dom, name, result } => {
+                write!(f, "[{dom}] hypercall {name} -> {result}")
+            }
+            AuditEvent::ValidationRejected { dom, check, detail } => {
+                write!(f, "[{dom}] validation '{check}' rejected: {detail}")
+            }
+            AuditEvent::PteWritten { dom, slot, old, new, origin } => {
+                write!(f, "[{dom}] pte @{slot} {old:#x} -> {new:#x} ({origin:?})")
+            }
+            AuditEvent::HypervisorWrite { dom, phys, len, origin } => {
+                write!(f, "[{dom}] hv write {len}B @{phys} ({origin:?})")
+            }
+            AuditEvent::Exception { vector, addr, delivered } => {
+                write!(f, "exception vec={vector} addr={addr:?} delivered={delivered}")
+            }
+            AuditEvent::Crash { message } => write!(f, "CRASH: {message}"),
+            AuditEvent::InjectorAccess { dom, addr, len, mode } => {
+                write!(f, "[{dom}] injector {mode} {len}B @{addr:#x}")
+            }
+            AuditEvent::DanglingReference { dom, mfn, detail } => {
+                write!(f, "[{dom}] dangling reference to {mfn}: {detail}")
+            }
+        }
+    }
+}
+
+/// A bounded in-order log of [`AuditEvent`]s.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AuditLog {
+    events: Vec<AuditEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl AuditLog {
+    /// Default maximum retained events.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates an empty log with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty log retaining at most `capacity` events; further
+    /// events are counted but dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: AuditEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates events matching a predicate.
+    pub fn filter<'a, P>(&'a self, pred: P) -> impl Iterator<Item = &'a AuditEvent>
+    where
+        P: FnMut(&&'a AuditEvent) -> bool + 'a,
+    {
+        self.events.iter().filter(pred)
+    }
+
+    /// Clears the log (used between campaign runs on a reused instance).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_filter() {
+        let mut log = AuditLog::new();
+        log.push(AuditEvent::Hypercall {
+            dom: DomainId::DOM0,
+            name: "mmu_update",
+            result: 0,
+        });
+        log.push(AuditEvent::Crash {
+            message: "DOUBLE FAULT".into(),
+        });
+        assert_eq!(log.events().len(), 2);
+        let crashes: Vec<_> = log
+            .filter(|e| matches!(e, AuditEvent::Crash { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let mut log = AuditLog::with_capacity(2);
+        for i in 0..5 {
+            log.push(AuditEvent::Hypercall {
+                dom: DomainId::DOM0,
+                name: "noop",
+                result: i,
+            });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        log.clear();
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let e = AuditEvent::InjectorAccess {
+            dom: DomainId::new(3),
+            addr: 0xffff_8300_0000_0000,
+            len: 8,
+            mode: "linear write",
+        };
+        let s = e.to_string();
+        assert!(s.contains("injector"));
+        assert!(s.contains("dom3"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Hypercall request types and the uniform dispatcher.
+//!
+//! Guests may either call the typed methods on
+//! [`Hypervisor`](crate::Hypervisor) directly or funnel everything through
+//! [`Hypervisor::dispatch`] with a [`Hypercall`] value — the latter is what
+//! the benchmark harness and the intrusion-injection campaign use, because
+//! it gives one audit point and one latency-measurement point per call.
+
+use crate::exchange::ExchangeArgs;
+use crate::grants::GrantTableVersion;
+use crate::injector::AccessMode;
+use hvsim_mem::{Pfn, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// One `mmu_update` request: write `val` into the page-table entry at
+/// machine byte address `ptr`.
+///
+/// As in Xen, the low two bits of `ptr` encode the update type; only
+/// `MMU_NORMAL_PT_UPDATE` (0) is modelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuUpdate {
+    /// Machine byte address of the target PTE (low 2 bits: update type).
+    pub ptr: u64,
+    /// The raw new entry value.
+    pub val: u64,
+}
+
+impl MmuUpdate {
+    /// A normal page-table update.
+    pub fn normal(ptr: u64, val: u64) -> Self {
+        Self { ptr, val }
+    }
+}
+
+/// Extended MMU operations (`HYPERVISOR_mmuext_op`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MmuExtOp {
+    /// Pin a frame as a level-`level` page table, validating its contents.
+    Pin {
+        /// Page-table level (1..=4).
+        level: u8,
+        /// The frame to pin.
+        mfn: hvsim_mem::Mfn,
+    },
+    /// Unpin a previously pinned page-table frame.
+    Unpin {
+        /// The frame to unpin.
+        mfn: hvsim_mem::Mfn,
+    },
+    /// Install a new top-level page table for the calling domain.
+    NewBaseptr {
+        /// The L4 frame to load.
+        mfn: hvsim_mem::Mfn,
+    },
+}
+
+/// A hypercall request, for uniform dispatch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Hypercall {
+    /// Batched page-table updates.
+    MmuUpdate(Vec<MmuUpdate>),
+    /// Extended MMU operations.
+    MmuExtOp(Vec<MmuExtOp>),
+    /// Single-entry leaf update addressed by virtual address.
+    UpdateVaMapping {
+        /// The virtual address whose L1 entry is updated.
+        va: VirtAddr,
+        /// The raw new entry value.
+        val: u64,
+    },
+    /// `XENMEM_exchange`.
+    MemoryExchange(ExchangeArgs),
+    /// `XENMEM_decrease_reservation`.
+    DecreaseReservation {
+        /// Pseudo-physical frames to release.
+        pfns: Vec<Pfn>,
+        /// Whether a cache-maintenance op preceded the call (the XSA-393
+        /// trigger condition).
+        after_cache_maintenance: bool,
+    },
+    /// `GNTTABOP_set_version`.
+    GrantTableSetVersion(GrantTableVersion),
+    /// Register guest trap handlers.
+    SetTrapTable(Vec<(u8, VirtAddr)>),
+    /// Emit a line on the hypervisor console.
+    ConsoleIo(String),
+    /// The paper's injector hypercall (present only in injector builds).
+    ///
+    /// `data` is an in/out buffer: filled on reads, consumed on writes.
+    ArbitraryAccess {
+        /// Target address (linear or physical per `mode`).
+        addr: u64,
+        /// In/out data buffer; its length is the access length.
+        data: Vec<u8>,
+        /// Operation and address mode.
+        mode: AccessMode,
+    },
+}
+
+impl Hypercall {
+    /// The hypercall's name, as recorded in the audit log.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hypercall::MmuUpdate(_) => "mmu_update",
+            Hypercall::MmuExtOp(_) => "mmuext_op",
+            Hypercall::UpdateVaMapping { .. } => "update_va_mapping",
+            Hypercall::MemoryExchange(_) => "memory_exchange",
+            Hypercall::DecreaseReservation { .. } => "decrease_reservation",
+            Hypercall::GrantTableSetVersion(_) => "grant_table_set_version",
+            Hypercall::SetTrapTable(_) => "set_trap_table",
+            Hypercall::ConsoleIo(_) => "console_io",
+            Hypercall::ArbitraryAccess { .. } => "arbitrary_access",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Hypercall::MmuUpdate(vec![]).name(), "mmu_update");
+        assert_eq!(
+            Hypercall::ArbitraryAccess {
+                addr: 0,
+                data: vec![],
+                mode: AccessMode::LinearRead,
+            }
+            .name(),
+            "arbitrary_access"
+        );
+    }
+
+    #[test]
+    fn mmu_update_normal_constructor() {
+        let u = MmuUpdate::normal(0x1000, 0x2003);
+        assert_eq!(u.ptr, 0x1000);
+        assert_eq!(u.val, 0x2003);
+    }
+}

@@ -1,0 +1,167 @@
+//! Free-list frame allocator with per-domain accounting.
+
+use crate::{DomainId, MachineMemory, MemError, Mfn, PageType};
+use std::collections::BTreeMap;
+
+/// Allocates machine frames to domains and tracks per-domain usage against
+/// a quota, mirroring Xen's `max_pages`/`tot_pages` accounting.
+///
+/// The allocator hands out the lowest-numbered free frame first, which keeps
+/// simulated memory layouts deterministic — important both for reproducible
+/// experiments and for exploits that fingerprint physical memory.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    free: Vec<Mfn>,
+    quotas: BTreeMap<DomainId, Quota>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Quota {
+    max_pages: u64,
+    tot_pages: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing frames `first..limit`.
+    ///
+    /// Frames below `first` are typically reserved for the hypervisor
+    /// image itself and never enter the free pool.
+    pub fn new(first: Mfn, limit: Mfn) -> Self {
+        // Keep the free list sorted descending so `pop` yields the lowest
+        // frame first.
+        let free = (first.raw()..limit.raw()).rev().map(Mfn::new).collect();
+        Self {
+            free,
+            quotas: BTreeMap::new(),
+        }
+    }
+
+    /// Number of frames currently free.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Sets a domain's maximum page quota.
+    pub fn set_quota(&mut self, dom: DomainId, max_pages: u64) {
+        self.quotas.entry(dom).or_default().max_pages = max_pages;
+    }
+
+    /// Pages currently allocated to `dom`.
+    pub fn pages_of(&self, dom: DomainId) -> u64 {
+        self.quotas.get(&dom).map_or(0, |q| q.tot_pages)
+    }
+
+    /// Allocates one frame to `dom` with the given initial page type.
+    ///
+    /// The frame is zeroed (a fresh allocation must never leak a previous
+    /// owner's data — the "Read Unauthorized Memory" abusive functionality
+    /// is exactly a violation of this rule).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoFreeFrames`] when the pool is empty,
+    /// [`MemError::DomainQuotaExceeded`] when `dom` is at its quota.
+    pub fn alloc(
+        &mut self,
+        mem: &mut MachineMemory,
+        dom: DomainId,
+        page_type: PageType,
+    ) -> Result<Mfn, MemError> {
+        let quota = self.quotas.entry(dom).or_default();
+        if quota.max_pages != 0 && quota.tot_pages >= quota.max_pages {
+            return Err(MemError::DomainQuotaExceeded);
+        }
+        let mfn = self.free.pop().ok_or(MemError::NoFreeFrames)?;
+        quota.tot_pages += 1;
+        mem.zero_frame(mfn)?;
+        mem.info_mut(mfn)?.assign(dom, page_type);
+        Ok(mfn)
+    }
+
+    /// Frees a frame, returning it to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFrame`] for uninstalled frames.
+    pub fn free(&mut self, mem: &mut MachineMemory, mfn: Mfn) -> Result<(), MemError> {
+        let owner = mem.info(mfn)?.owner();
+        if let Some(dom) = owner {
+            if let Some(q) = self.quotas.get_mut(&dom) {
+                q.tot_pages = q.tot_pages.saturating_sub(1);
+            }
+        }
+        mem.info_mut(mfn)?.release();
+        self.free.push(mfn);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineMemory, FrameAllocator) {
+        let mem = MachineMemory::new(16);
+        let alloc = FrameAllocator::new(Mfn::new(4), Mfn::new(16));
+        (mem, alloc)
+    }
+
+    #[test]
+    fn alloc_lowest_first_and_zeroed() {
+        let (mut mem, mut alloc) = setup();
+        mem.write_u64(Mfn::new(4).base(), 0x4141).unwrap();
+        let mfn = alloc.alloc(&mut mem, DomainId::DOM0, PageType::Writable).unwrap();
+        assert_eq!(mfn, Mfn::new(4));
+        assert_eq!(mem.read_u64(mfn.base()).unwrap(), 0, "fresh frames are scrubbed");
+        assert_eq!(mem.info(mfn).unwrap().owner(), Some(DomainId::DOM0));
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let (mut mem, mut alloc) = setup();
+        let dom = DomainId::new(2);
+        alloc.set_quota(dom, 2);
+        alloc.alloc(&mut mem, dom, PageType::Writable).unwrap();
+        alloc.alloc(&mut mem, dom, PageType::Writable).unwrap();
+        assert!(matches!(
+            alloc.alloc(&mut mem, dom, PageType::Writable),
+            Err(MemError::DomainQuotaExceeded)
+        ));
+        assert_eq!(alloc.pages_of(dom), 2);
+    }
+
+    #[test]
+    fn free_returns_frame_and_credits_quota() {
+        let (mut mem, mut alloc) = setup();
+        let dom = DomainId::new(1);
+        let before = alloc.free_frames();
+        let mfn = alloc.alloc(&mut mem, dom, PageType::Writable).unwrap();
+        assert_eq!(alloc.free_frames(), before - 1);
+        alloc.free(&mut mem, mfn).unwrap();
+        assert_eq!(alloc.free_frames(), before);
+        assert_eq!(alloc.pages_of(dom), 0);
+        assert_eq!(mem.info(mfn).unwrap().owner(), None);
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut mem = MachineMemory::new(6);
+        let mut alloc = FrameAllocator::new(Mfn::new(4), Mfn::new(6));
+        alloc.alloc(&mut mem, DomainId::DOM0, PageType::Writable).unwrap();
+        alloc.alloc(&mut mem, DomainId::DOM0, PageType::Writable).unwrap();
+        assert!(matches!(
+            alloc.alloc(&mut mem, DomainId::DOM0, PageType::Writable),
+            Err(MemError::NoFreeFrames)
+        ));
+    }
+
+    #[test]
+    fn zero_quota_means_unlimited() {
+        let (mut mem, mut alloc) = setup();
+        let dom = DomainId::new(3);
+        for _ in 0..12 {
+            alloc.alloc(&mut mem, dom, PageType::Writable).unwrap();
+        }
+        assert_eq!(alloc.pages_of(dom), 12);
+    }
+}

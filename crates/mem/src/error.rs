@@ -1,0 +1,83 @@
+//! Error type for machine-memory operations.
+
+use crate::{Mfn, PageType, PhysAddr};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the machine-memory substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// A frame number beyond the end of installed machine memory.
+    BadFrame {
+        /// The offending frame.
+        mfn: Mfn,
+        /// Number of installed frames.
+        limit: u64,
+    },
+    /// A physical byte access crossing the end of installed memory.
+    OutOfRange {
+        /// Start of the access.
+        addr: PhysAddr,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Attempt to take a conflicting page type reference.
+    TypeConflict {
+        /// The type the frame currently has.
+        have: PageType,
+        /// The type that was requested.
+        wanted: PageType,
+    },
+    /// A reference count was decremented below zero.
+    RefUnderflow,
+    /// The free frame pool is exhausted.
+    NoFreeFrames,
+    /// A domain exceeded its maximum page allocation.
+    DomainQuotaExceeded,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BadFrame { mfn, limit } => {
+                write!(f, "machine frame {mfn} beyond installed memory ({limit} frames)")
+            }
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "physical access of {len} bytes at {addr} is out of range")
+            }
+            MemError::TypeConflict { have, wanted } => {
+                write!(f, "page type conflict: frame is {have}, wanted {wanted}")
+            }
+            MemError::RefUnderflow => f.write_str("page reference count underflow"),
+            MemError::NoFreeFrames => f.write_str("no free machine frames"),
+            MemError::DomainQuotaExceeded => f.write_str("domain page quota exceeded"),
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MemError::BadFrame {
+            mfn: Mfn::new(0x100),
+            limit: 64,
+        };
+        assert_eq!(
+            e.to_string(),
+            "machine frame 0x100 beyond installed memory (64 frames)"
+        );
+        assert!(MemError::NoFreeFrames.to_string().contains("no free"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<MemError>();
+    }
+}

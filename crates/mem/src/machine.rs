@@ -1,0 +1,315 @@
+//! The byte-accurate machine memory array.
+
+use crate::{MemError, Mfn, PageInfo, PhysAddr, PAGE_SIZE};
+
+/// One machine frame's contents.
+///
+/// Frames start life as all-zeroes and are only materialized on first
+/// write, so large simulated machines stay cheap until touched.
+#[derive(Clone, Debug, Default)]
+enum FrameData {
+    /// The frame has never been written; reads see zeroes.
+    #[default]
+    Zero,
+    /// Materialized contents.
+    Data(Box<[u8; PAGE_SIZE]>),
+}
+
+impl FrameData {
+    fn bytes(&self) -> Option<&[u8; PAGE_SIZE]> {
+        match self {
+            FrameData::Zero => None,
+            FrameData::Data(b) => Some(b),
+        }
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        if let FrameData::Zero = self {
+            *self = FrameData::Data(Box::new([0u8; PAGE_SIZE]));
+        }
+        match self {
+            FrameData::Data(b) => b,
+            FrameData::Zero => unreachable!("frame was just materialized"),
+        }
+    }
+}
+
+/// All installed machine memory: frame contents plus per-frame accounting.
+///
+/// This is the single source of truth every other subsystem (page walks,
+/// hypercalls, guests, the intrusion injector) reads and mutates.
+#[derive(Clone, Debug)]
+pub struct MachineMemory {
+    frames: Vec<FrameData>,
+    info: Vec<PageInfo>,
+}
+
+impl MachineMemory {
+    /// Creates a machine with `frames` installed 4 KiB frames, all zeroed
+    /// and unowned.
+    pub fn new(frames: usize) -> Self {
+        Self {
+            frames: (0..frames).map(|_| FrameData::Zero).collect(),
+            info: vec![PageInfo::new(); frames],
+        }
+    }
+
+    /// Number of installed frames.
+    pub fn frame_count(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Total installed bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.frame_count() * PAGE_SIZE as u64
+    }
+
+    /// Returns `true` if `mfn` addresses an installed frame.
+    pub fn contains(&self, mfn: Mfn) -> bool {
+        mfn.raw() < self.frame_count()
+    }
+
+    fn check_frame(&self, mfn: Mfn) -> Result<usize, MemError> {
+        if self.contains(mfn) {
+            Ok(mfn.raw() as usize)
+        } else {
+            Err(MemError::BadFrame {
+                mfn,
+                limit: self.frame_count(),
+            })
+        }
+    }
+
+    /// Accounting record for a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFrame`] for uninstalled frames.
+    pub fn info(&self, mfn: Mfn) -> Result<&PageInfo, MemError> {
+        let idx = self.check_frame(mfn)?;
+        Ok(&self.info[idx])
+    }
+
+    /// Mutable accounting record for a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFrame`] for uninstalled frames.
+    pub fn info_mut(&mut self, mfn: Mfn) -> Result<&mut PageInfo, MemError> {
+        let idx = self.check_frame(mfn)?;
+        Ok(&mut self.info[idx])
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// The access may cross frame boundaries but not the end of installed
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the access crosses the end of
+    /// installed memory.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        let end = addr
+            .raw()
+            .checked_add(buf.len() as u64)
+            .ok_or(MemError::OutOfRange { addr, len: buf.len() })?;
+        if end > self.size_bytes() {
+            return Err(MemError::OutOfRange { addr, len: buf.len() });
+        }
+        let mut cursor = addr;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let frame = cursor.frame();
+            let off = cursor.page_offset();
+            let chunk = (PAGE_SIZE - off).min(buf.len() - filled);
+            match self.frames[frame.raw() as usize].bytes() {
+                Some(bytes) => buf[filled..filled + chunk].copy_from_slice(&bytes[off..off + chunk]),
+                None => buf[filled..filled + chunk].fill(0),
+            }
+            filled += chunk;
+            cursor = cursor.offset(chunk as u64);
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the access crosses the end of
+    /// installed memory.
+    pub fn write(&mut self, addr: PhysAddr, buf: &[u8]) -> Result<(), MemError> {
+        let end = addr
+            .raw()
+            .checked_add(buf.len() as u64)
+            .ok_or(MemError::OutOfRange { addr, len: buf.len() })?;
+        if end > self.size_bytes() {
+            return Err(MemError::OutOfRange { addr, len: buf.len() });
+        }
+        let mut cursor = addr;
+        let mut written = 0usize;
+        while written < buf.len() {
+            let frame = cursor.frame();
+            let off = cursor.page_offset();
+            let chunk = (PAGE_SIZE - off).min(buf.len() - written);
+            self.frames[frame.raw() as usize].bytes_mut()[off..off + chunk]
+                .copy_from_slice(&buf[written..written + chunk]);
+            written += chunk;
+            cursor = cursor.offset(chunk as u64);
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the access crosses the end of
+    /// installed memory.
+    pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfRange`] if the access crosses the end of
+    /// installed memory.
+    pub fn write_u64(&mut self, addr: PhysAddr, value: u64) -> Result<(), MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Zeroes an entire frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFrame`] for uninstalled frames.
+    pub fn zero_frame(&mut self, mfn: Mfn) -> Result<(), MemError> {
+        let idx = self.check_frame(mfn)?;
+        self.frames[idx] = FrameData::Zero;
+        Ok(())
+    }
+
+    /// Copies a full frame's contents into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BadFrame`] for uninstalled frames.
+    pub fn read_frame(&self, mfn: Mfn, out: &mut [u8; PAGE_SIZE]) -> Result<(), MemError> {
+        let idx = self.check_frame(mfn)?;
+        match self.frames[idx].bytes() {
+            Some(bytes) => out.copy_from_slice(bytes),
+            None => out.fill(0),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mem = MachineMemory::new(4);
+        let mut buf = [0xffu8; 32];
+        mem.read(PhysAddr::new(100), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn read_write_roundtrip_within_frame() {
+        let mut mem = MachineMemory::new(4);
+        mem.write(PhysAddr::new(16), b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        mem.read(PhysAddr::new(16), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn read_write_across_frame_boundary() {
+        let mut mem = MachineMemory::new(4);
+        let addr = PhysAddr::new(PAGE_SIZE as u64 - 4);
+        mem.write(addr, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(mem.read_u64(addr).unwrap(), u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn out_of_range_access_rejected() {
+        let mut mem = MachineMemory::new(2);
+        let end = mem.size_bytes();
+        assert!(matches!(
+            mem.write(PhysAddr::new(end - 4), &[0u8; 8]),
+            Err(MemError::OutOfRange { .. })
+        ));
+        let mut buf = [0u8; 1];
+        assert!(mem.read(PhysAddr::new(end), &mut buf).is_err());
+        // Address arithmetic overflow is also rejected, not wrapped.
+        assert!(mem.read(PhysAddr::new(u64::MAX), &mut buf).is_err());
+    }
+
+    #[test]
+    fn bad_frame_rejected() {
+        let mut mem = MachineMemory::new(2);
+        assert!(mem.info(Mfn::new(2)).is_err());
+        assert!(mem.info_mut(Mfn::new(2)).is_err());
+        assert!(mem.zero_frame(Mfn::new(99)).is_err());
+        assert!(mem.info(Mfn::new(1)).is_ok());
+    }
+
+    #[test]
+    fn zero_frame_clears_content() {
+        let mut mem = MachineMemory::new(2);
+        mem.write_u64(PhysAddr::new(0), 0x1122_3344).unwrap();
+        mem.zero_frame(Mfn::new(0)).unwrap();
+        assert_eq!(mem.read_u64(PhysAddr::new(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_frame_full_copy() {
+        let mut mem = MachineMemory::new(2);
+        mem.write(PhysAddr::new(4096 + 7), b"frame1").unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        mem.read_frame(Mfn::new(1), &mut out).unwrap();
+        assert_eq!(&out[7..13], b"frame1");
+        mem.read_frame(Mfn::new(0), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary_spans(
+            offset in 0u64..(3 * PAGE_SIZE as u64),
+            data in proptest::collection::vec(any::<u8>(), 1..256),
+        ) {
+            let mut mem = MachineMemory::new(4);
+            mem.write(PhysAddr::new(offset), &data).unwrap();
+            let mut out = vec![0u8; data.len()];
+            mem.read(PhysAddr::new(offset), &mut out).unwrap();
+            prop_assert_eq!(out, data);
+        }
+
+        #[test]
+        fn prop_u64_roundtrip(offset in 0u64..(4 * PAGE_SIZE as u64 - 8), value: u64) {
+            let mut mem = MachineMemory::new(4);
+            mem.write_u64(PhysAddr::new(offset), value).unwrap();
+            prop_assert_eq!(mem.read_u64(PhysAddr::new(offset)).unwrap(), value);
+        }
+
+        #[test]
+        fn prop_disjoint_writes_do_not_interfere(
+            a in 0u64..1024, b in 2048u64..4000, va: u64, vb: u64,
+        ) {
+            let mut mem = MachineMemory::new(4);
+            mem.write_u64(PhysAddr::new(a), va).unwrap();
+            mem.write_u64(PhysAddr::new(b), vb).unwrap();
+            prop_assert_eq!(mem.read_u64(PhysAddr::new(a)).unwrap(), va);
+            prop_assert_eq!(mem.read_u64(PhysAddr::new(b)).unwrap(), vb);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests over the page walker: randomly built mappings always
+//! translate to the manually computed physical address, permission
+//! accumulation is the AND over levels, and the walker is total (no
+//! panic on any table contents).
+
+use hvsim_mem::{MachineMemory, Mfn, PhysAddr, VirtAddr, PAGE_SIZE};
+use hvsim_paging::{
+    compose_va, pte_slot, walk, MappingLevel, PageTableEntry, PteFlags, VaIndices, WalkPolicy,
+};
+use proptest::prelude::*;
+
+const LINK: PteFlags = PteFlags::PRESENT.union(PteFlags::RW).union(PteFlags::USER);
+
+fn write_entry(mem: &mut MachineMemory, table: Mfn, index: usize, e: PageTableEntry) {
+    mem.write_u64(table.base().offset(index as u64 * 8), e.raw())
+        .unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A randomly placed 4-level mapping translates exactly as computed.
+    #[test]
+    fn random_4k_mappings_translate_exactly(
+        l4 in 0usize..512, l3 in 0usize..512, l2 in 0usize..512, l1 in 0usize..512,
+        offset in 0usize..PAGE_SIZE,
+        target in 10u64..64,
+        rw: bool, user: bool, nx: bool,
+    ) {
+        let mut mem = MachineMemory::new(64);
+        let (t4, t3, t2, t1) = (Mfn::new(1), Mfn::new(2), Mfn::new(3), Mfn::new(4));
+        let mut leaf = PteFlags::PRESENT;
+        if rw { leaf |= PteFlags::RW; }
+        if user { leaf |= PteFlags::USER; }
+        if nx { leaf |= PteFlags::NX; }
+        write_entry(&mut mem, t4, l4, PageTableEntry::new(t3, LINK));
+        write_entry(&mut mem, t3, l3, PageTableEntry::new(t2, LINK));
+        write_entry(&mut mem, t2, l2, PageTableEntry::new(t1, LINK));
+        write_entry(&mut mem, t1, l1, PageTableEntry::new(Mfn::new(target), leaf));
+        let va = compose_va(l4, l3, l2, l1, offset);
+        let t = walk(&mem, t4, va, &WalkPolicy::default()).unwrap();
+        prop_assert_eq!(t.level, MappingLevel::Page4K);
+        prop_assert_eq!(t.phys, PhysAddr::new(target * PAGE_SIZE as u64 + offset as u64));
+        // Permission accumulation: leaf AND link flags.
+        prop_assert_eq!(t.writable(), rw);
+        prop_assert_eq!(t.user_accessible(), user);
+        prop_assert_eq!(t.executable(), !nx);
+        // The audit primitive agrees with the walk.
+        let (slot, entry) = pte_slot(&mem, t4, va, 1).unwrap();
+        prop_assert_eq!(slot, t1.base().offset(l1 as u64 * 8));
+        prop_assert_eq!(entry.mfn(), Mfn::new(target));
+    }
+
+    /// The walker never panics whatever garbage fills the tables.
+    #[test]
+    fn walker_is_total_on_garbage_tables(
+        seed in any::<u64>(),
+        va in any::<u64>(),
+        hardened: bool,
+    ) {
+        let mut mem = MachineMemory::new(16);
+        // Fill all frames with pseudo-random garbage derived from seed.
+        let mut state = seed | 1;
+        for f in 0..16u64 {
+            for slot in 0..512u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                mem.write_u64(Mfn::new(f).base().offset(slot * 8), state).unwrap();
+            }
+        }
+        let policy = WalkPolicy { forbid_writable_selfmap: hardened };
+        // Must return Ok or Err, never panic, for any cr3 and va.
+        for cr3 in 0..16u64 {
+            let _ = walk(&mem, Mfn::new(cr3), VirtAddr::new(va), &policy);
+            let _ = pte_slot(&mem, Mfn::new(cr3), VirtAddr::new(va), 1);
+            let _ = pte_slot(&mem, Mfn::new(cr3), VirtAddr::new(va), 4);
+        }
+    }
+
+    /// Superpage translations cover exactly their 2 MiB / 1 GiB spans.
+    #[test]
+    fn superpage_spans(
+        l4 in 0usize..512, l3 in 0usize..512, l2 in 0usize..512,
+        inner in 0u64..(2 << 20),
+    ) {
+        // The 2 MiB superpage over frame 0 spans 512 frames; install them all.
+        let mut mem = MachineMemory::new(512);
+        let (t4, t3, t2) = (Mfn::new(1), Mfn::new(2), Mfn::new(3));
+        write_entry(&mut mem, t4, l4, PageTableEntry::new(t3, LINK));
+        write_entry(&mut mem, t3, l3, PageTableEntry::new(t2, LINK));
+        write_entry(&mut mem, t2, l2, PageTableEntry::new(Mfn::new(0), LINK | PteFlags::PSE));
+        let base = compose_va(l4, l3, l2, 0, 0);
+        let va = VirtAddr::new(base.raw() + inner);
+        let t = walk(&mem, t4, va, &WalkPolicy::default()).unwrap();
+        prop_assert_eq!(t.level, MappingLevel::Page2M);
+        prop_assert_eq!(t.phys.raw(), inner, "2MiB superpage over frame 0");
+    }
+
+    /// The hardened policy is a strict restriction: anything it allows,
+    /// the classic policy also allows with the identical translation.
+    #[test]
+    fn hardened_policy_is_a_restriction(
+        entries in proptest::collection::vec((0usize..512, 1u64..16, any::<u16>()), 1..24),
+        va in any::<u64>(),
+    ) {
+        let mut mem = MachineMemory::new(16);
+        let cr3 = Mfn::new(1);
+        for (index, target, flag_bits) in entries {
+            let flags = PteFlags::from_bits_truncate(flag_bits as u64) | PteFlags::PRESENT;
+            write_entry(&mut mem, cr3, index, PageTableEntry::new(Mfn::new(target), flags));
+        }
+        let classic = walk(&mem, cr3, VirtAddr::new(va), &WalkPolicy::default());
+        let hardened = walk(
+            &mem,
+            cr3,
+            VirtAddr::new(va),
+            &WalkPolicy { forbid_writable_selfmap: true },
+        );
+        if let Ok(h) = hardened {
+            prop_assert_eq!(classic.unwrap(), h);
+        }
+    }
+}
+
+/// Translation indices round-trip through VaIndices for every mapping
+/// level boundary (first/last entries of each table).
+#[test]
+fn boundary_indices() {
+    for idx in [0usize, 1, 255, 256, 511] {
+        let va = compose_va(idx, idx, idx, idx, 0);
+        let d = VaIndices::of(va);
+        assert_eq!((d.l4, d.l3, d.l2, d.l1), (idx, idx, idx, idx));
+    }
+}
