@@ -1,13 +1,18 @@
 //! Regenerates **Table III**: the injection campaign across all
-//! versions, plus the RQ1/RQ2/RQ3 summaries of §VI–§VIII.
+//! versions, plus the RQ1/RQ2/RQ3 summaries of §VI–§VIII, and records
+//! campaign throughput in `BENCH_campaign.json`.
 
 use bench::run_paper_campaign;
-use intrusion_core::Mode;
+use intrusion_core::{default_jobs, CampaignThroughput, Mode};
 use hvsim::XenVersion;
+use std::time::Instant;
 
 fn main() {
-    eprintln!("running the full campaign (24 cells) ...");
+    let workers = default_jobs();
+    eprintln!("running the full campaign (24 cells, {workers} workers) ...");
+    let start = Instant::now();
     let report = run_paper_campaign();
+    let elapsed = start.elapsed();
     println!("{}", report.render_table3());
 
     println!("RQ1 (reproduce exploit effects on the vulnerable version):");
@@ -39,6 +44,25 @@ fn main() {
             cell.version.to_string(),
             cell.error.as_deref().unwrap_or("(succeeded?!)")
         );
+    }
+
+    // Throughput summary + machine-readable benchmark record.
+    let throughput =
+        CampaignThroughput::new(&report, workers, elapsed.as_micros() as u64);
+    println!(
+        "\nthroughput: {} cells in {:.1} ms on {} workers \
+         ({:.0} cells/sec, {} us cell time, {} hypercalls)",
+        throughput.cells,
+        throughput.elapsed_us as f64 / 1000.0,
+        throughput.workers,
+        throughput.cells_per_sec,
+        throughput.total_cell_wall_time_us,
+        throughput.total_hypercalls,
+    );
+    let bench = serde_json::to_string_pretty(&throughput).expect("throughput serializes");
+    match std::fs::write("BENCH_campaign.json", bench) {
+        Ok(()) => eprintln!("wrote BENCH_campaign.json"),
+        Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
     }
 
     println!("\nJSON report written to stdout of `--json` runs; cells: {}", report.cells().len());

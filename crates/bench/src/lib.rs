@@ -30,13 +30,19 @@ pub fn attack_world(version: XenVersion, injector: bool) -> (World, DomainId) {
     (world, attacker)
 }
 
-/// Runs the full paper campaign (4 use cases × 3 versions × 2 modes).
-pub fn run_paper_campaign() -> CampaignReport {
+/// The full paper campaign (4 use cases × 3 versions × 2 modes), ready
+/// to configure (worker count, snapshot reuse) and run.
+pub fn paper_campaign() -> Campaign {
     let mut campaign = Campaign::new();
     for uc in paper_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
-    campaign.run()
+    campaign
+}
+
+/// Runs the full paper campaign with the default configuration.
+pub fn run_paper_campaign() -> CampaignReport {
+    paper_campaign().run()
 }
 
 #[cfg(test)]

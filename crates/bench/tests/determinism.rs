@@ -1,0 +1,48 @@
+//! Regression tests for the parallel campaign engine: the real paper
+//! campaign (4 use cases × 3 versions × 2 modes) must produce
+//! byte-identical normalized reports regardless of worker count or
+//! snapshot reuse, and the randomized sweep must be schedule-independent.
+
+use bench::{attack_world, paper_campaign};
+use hvsim::XenVersion;
+use intrusion_core::{RandomizedCampaign, TargetRegion};
+
+#[test]
+fn paper_campaign_report_is_worker_count_independent() {
+    let serial = paper_campaign().run_with_jobs(1);
+    let parallel = paper_campaign().run_with_jobs(4);
+    assert_eq!(
+        serial.normalized().to_json().unwrap(),
+        parallel.normalized().to_json().unwrap(),
+        "jobs=1 and jobs=4 must produce byte-identical reports"
+    );
+}
+
+#[test]
+fn paper_campaign_snapshots_match_boot_per_cell() {
+    let snapshots = paper_campaign().run_with_jobs(2);
+    let booted = paper_campaign().reuse_snapshots(false).run_with_jobs(2);
+    assert_eq!(
+        snapshots.normalized().to_json().unwrap(),
+        booted.normalized().to_json().unwrap(),
+        "a snapshot clone must behave exactly like a fresh boot"
+    );
+}
+
+#[test]
+fn paper_campaign_records_cell_metrics() {
+    let report = paper_campaign().run();
+    assert_eq!(report.cells().len(), 24);
+    assert!(report.total_hypercalls() > 0);
+    assert!(report.total_wall_time_us() > 0);
+}
+
+#[test]
+fn randomized_sweep_is_worker_count_independent() {
+    let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 16, 7);
+    let factory = || attack_world(XenVersion::V4_8, true);
+    let (s1, o1) = campaign.run_with_jobs(factory, 1);
+    let (s4, o4) = campaign.run_with_jobs(factory, 4);
+    assert_eq!(s1, s4);
+    assert_eq!(o1, o4);
+}

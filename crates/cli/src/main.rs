@@ -2,10 +2,10 @@
 //! intrusion-injection assessment tooling.
 //!
 //! ```text
-//! intrusion-injector campaign [--extensions] [--json]
+//! intrusion-injector campaign [--extensions] [--json] [--jobs 4]
 //! intrusion-injector run --use-case XSA-182-test --version 4.13 --mode injection
 //! intrusion-injector randomized --region idt --trials 24 --seed 7 --version 4.8
-//! intrusion-injector benchmark
+//! intrusion-injector benchmark [--jobs 4]
 //! intrusion-injector taxonomy
 //! intrusion-injector models
 //! intrusion-injector help
@@ -33,6 +33,7 @@ COMMANDS:
     campaign     run the full assessment campaign and print Tables II/III + Fig. 4
                    [--extensions]  include the extension use cases
                    [--json]        emit the raw cell report as JSON
+                   [--jobs <n>]    worker threads (default: hardware threads)
     run          run one use case once
                    --use-case <name>      e.g. XSA-212-crash (see 'models')
                    [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
@@ -42,14 +43,20 @@ COMMANDS:
                    [--trials <n>]   default 16
                    [--seed <n>]     default 7
                    [--version <v>]  default 4.8
+                   [--jobs <n>]     worker threads (default: hardware threads)
     benchmark    score and rank versions by erroneous-state handling
+                   [--jobs <n>]    worker threads (default: hardware threads)
     taxonomy     print the abusive-functionality study (Table I)
     models       list the available use cases and their intrusion models
     help         this text
 ";
 
 fn parse_version(p: &Parsed) -> Result<XenVersion, ArgError> {
-    match p.get_or("version", "4.6") {
+    parse_version_or(p, "4.6")
+}
+
+fn parse_version_or(p: &Parsed, default: &'static str) -> Result<XenVersion, ArgError> {
+    match p.get_or("version", default) {
         "4.6" => Ok(XenVersion::V4_6),
         "4.8" => Ok(XenVersion::V4_8),
         "4.13" => Ok(XenVersion::V4_13),
@@ -61,6 +68,14 @@ fn parse_version(p: &Parsed) -> Result<XenVersion, ArgError> {
     }
 }
 
+/// Parses `--jobs`; `0` (the default) lets the campaign pick one worker
+/// per hardware thread.
+fn parse_jobs(p: &Parsed) -> Result<usize, String> {
+    p.get_or("jobs", "0")
+        .parse()
+        .map_err(|_| "--jobs must be a number".to_owned())
+}
+
 fn all_use_cases() -> Vec<Box<dyn UseCase>> {
     paper_use_cases().into_iter().chain(extension_use_cases()).collect()
 }
@@ -70,7 +85,7 @@ fn find_use_case(name: &str) -> Option<Box<dyn UseCase>> {
 }
 
 fn cmd_campaign(p: &Parsed) -> Result<(), String> {
-    let mut campaign = Campaign::new();
+    let mut campaign = Campaign::new().jobs(parse_jobs(p)?);
     for uc in paper_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
@@ -142,8 +157,10 @@ fn cmd_randomized(p: &Parsed) -> Result<(), String> {
     };
     let trials: usize = p.get_or("trials", "16").parse().map_err(|_| "--trials must be a number")?;
     let seed: u64 = p.get_or("seed", "7").parse().map_err(|_| "--seed must be a number")?;
-    let version = parse_version(p).map_err(|e| e.to_string())?;
-    let campaign = RandomizedCampaign::new(region, trials, seed);
+    // The randomized sweep targets a non-vulnerable version by default
+    // (the HELP text's documented 4.8), unlike `run`'s 4.6.
+    let version = parse_version_or(p, "4.8").map_err(|e| e.to_string())?;
+    let campaign = RandomizedCampaign::new(region, trials, seed).with_jobs(parse_jobs(p)?);
     eprintln!("running {trials} trials against {} on Xen {version} ...", region.label());
     let (summary, outcomes) = campaign.run(|| {
         let w = standard_world(version, true);
@@ -160,8 +177,8 @@ fn cmd_randomized(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_benchmark() -> Result<(), String> {
-    let mut campaign = Campaign::new();
+fn cmd_benchmark(p: &Parsed) -> Result<(), String> {
+    let mut campaign = Campaign::new().jobs(parse_jobs(p)?);
     for uc in all_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
@@ -192,7 +209,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "campaign" => cmd_campaign(&parsed),
         "run" => cmd_run(&parsed),
         "randomized" => cmd_randomized(&parsed),
-        "benchmark" => cmd_benchmark(),
+        "benchmark" => cmd_benchmark(&parsed),
         "taxonomy" => {
             println!("{}", xsa_exploits::advisories::render_table1());
             Ok(())
@@ -290,6 +307,27 @@ mod tests {
             "4.13".into(),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_garbage() {
+        run(vec![
+            "randomized".into(),
+            "--trials".into(),
+            "2".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--version".into(),
+            "4.13".into(),
+        ])
+        .unwrap();
+        let err = run(vec![
+            "randomized".into(),
+            "--jobs".into(),
+            "many".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--jobs"));
     }
 
     #[test]

@@ -207,6 +207,8 @@ mod tests {
             handled,
             notes: vec![],
             error: None,
+            wall_time_us: 0,
+            hypercalls: 0,
         }
     }
 

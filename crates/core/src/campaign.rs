@@ -9,12 +9,21 @@ use crate::scenario::{Mode, UseCase};
 use guestos::{World, WorldBuilder};
 use hvsim::XenVersion;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Builds a fresh world for one campaign cell: `(version,
 /// injector_enabled)` — the paper keeps everything else identical across
 /// runs ("the build and experimental environment are kept the same",
-/// §V-B).
-pub type WorldFactory = Box<dyn Fn(XenVersion, bool) -> World>;
+/// §V-B). Shared across worker threads, hence `Arc + Send + Sync`.
+pub type WorldFactory = Arc<dyn Fn(XenVersion, bool) -> World + Send + Sync>;
+
+/// The default worker count: one per available hardware thread.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
 /// The world used throughout the evaluation: privileged dom0 (`xen3`)
 /// plus guests `xen2` and `guest03`; `guest03` is the compromised guest
@@ -53,6 +62,14 @@ pub struct CellResult {
     pub notes: Vec<String>,
     /// Failure reason when the state was not induced.
     pub error: Option<String>,
+    /// Wall-clock time spent on this cell (world acquisition + run +
+    /// monitoring), in microseconds. The only non-deterministic field;
+    /// [`CampaignReport::normalized`] zeroes it for run-to-run
+    /// comparisons.
+    pub wall_time_us: u64,
+    /// Hypercalls executed while running this cell (deterministic for a
+    /// given configuration).
+    pub hypercalls: u64,
 }
 
 impl CellResult {
@@ -87,15 +104,43 @@ impl CampaignReport {
             .find(|c| c.use_case == use_case && c.version == version && c.mode == mode)
     }
 
+    /// Iterates the first cell of each use case, in campaign order — the
+    /// per-use-case anchor rows shared by the Table II/III and Fig. 4
+    /// renderers.
+    pub fn first_cell_per_use_case(&self) -> impl Iterator<Item = &CellResult> {
+        let mut seen = BTreeSet::new();
+        self.cells.iter().filter(move |c| seen.insert(c.use_case.clone()))
+    }
+
+    /// A copy with every wall-clock timing zeroed. Timing is the only
+    /// non-deterministic part of a report; the normalized form is
+    /// byte-identical across runs and worker counts for the same
+    /// configuration.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut report = self.clone();
+        for cell in &mut report.cells {
+            cell.wall_time_us = 0;
+        }
+        report
+    }
+
+    /// Total wall-clock time across all cells, in microseconds.
+    pub fn total_wall_time_us(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_time_us).sum()
+    }
+
+    /// Total hypercalls executed across all cells.
+    pub fn total_hypercalls(&self) -> u64 {
+        self.cells.iter().map(|c| c.hypercalls).sum()
+    }
+
     /// Renders Table II: use case → abusive functionality.
     pub fn render_table2(&self) -> String {
         let mut table = TextTable::new(["Use Case", "Abusive Functionality"])
             .title("TABLE II: use cases and their abusive functionality");
-        let mut seen = std::collections::BTreeSet::new();
-        for c in &self.cells {
-            if seen.insert(c.use_case.clone()) {
-                table.row([c.use_case.clone(), c.abusive_functionality.clone()]);
-            }
+        for c in self.first_cell_per_use_case() {
+            table.row([c.use_case.clone(), c.abusive_functionality.clone()]);
         }
         table.to_string()
     }
@@ -115,11 +160,7 @@ impl CampaignReport {
             "TABLE III: injection campaign in non-vulnerable versions \
              (check = property induced, shield = erroneous state handled)",
         );
-        let mut seen = std::collections::BTreeSet::new();
-        for c in &self.cells {
-            if !seen.insert(c.use_case.clone()) {
-                continue;
-            }
+        for c in self.first_cell_per_use_case() {
             let mut row = vec![c.use_case.clone()];
             for version in [XenVersion::V4_8, XenVersion::V4_13] {
                 match self.cell(&c.use_case, version, Mode::Injection) {
@@ -157,11 +198,7 @@ impl CampaignReport {
             "equivalent",
         ])
         .title("FIG. 4: experimental validation on the vulnerable version (Xen 4.6)");
-        let mut seen = std::collections::BTreeSet::new();
-        for c in &self.cells {
-            if !seen.insert(c.use_case.clone()) {
-                continue;
-            }
+        for c in self.first_cell_per_use_case() {
             let e = self.cell(&c.use_case, XenVersion::V4_6, Mode::Exploit);
             let i = self.cell(&c.use_case, XenVersion::V4_6, Mode::Injection);
             let fmt_cell = |c: Option<&CellResult>| match c {
@@ -226,23 +263,63 @@ impl CampaignReport {
     }
 }
 
+/// A machine-readable campaign throughput record — what the Table III
+/// regenerator writes to `BENCH_campaign.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignThroughput {
+    /// Cells the campaign ran.
+    pub cells: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end elapsed wall-clock time, in microseconds.
+    pub elapsed_us: u64,
+    /// Cells completed per second of elapsed time.
+    pub cells_per_sec: f64,
+    /// Sum of per-cell wall-clock times (≈ CPU time across workers).
+    pub total_cell_wall_time_us: u64,
+    /// Hypercalls executed across all cells.
+    pub total_hypercalls: u64,
+}
+
+impl CampaignThroughput {
+    /// Derives the record from a report, the worker count, and the
+    /// elapsed run time.
+    pub fn new(report: &CampaignReport, workers: usize, elapsed_us: u64) -> Self {
+        let elapsed_us = elapsed_us.max(1);
+        let cells = report.cells().len();
+        Self {
+            cells,
+            workers,
+            elapsed_us,
+            cells_per_sec: cells as f64 * 1_000_000.0 / elapsed_us as f64,
+            total_cell_wall_time_us: report.total_wall_time_us(),
+            total_hypercalls: report.total_hypercalls(),
+        }
+    }
+}
+
 /// The campaign: use cases × versions × modes.
 pub struct Campaign {
     use_cases: Vec<Box<dyn UseCase>>,
     versions: Vec<XenVersion>,
     modes: Vec<Mode>,
     factory: WorldFactory,
+    jobs: Option<usize>,
+    reuse_snapshots: bool,
 }
 
 impl Campaign {
     /// A campaign over all three versions and both modes, using the
-    /// standard world.
+    /// standard world, snapshot reuse, and one worker per hardware
+    /// thread.
     pub fn new() -> Self {
         Self {
             use_cases: Vec::new(),
             versions: XenVersion::ALL.to_vec(),
             modes: vec![Mode::Exploit, Mode::Injection],
-            factory: Box::new(standard_world),
+            factory: Arc::new(standard_world),
+            jobs: None,
+            reuse_snapshots: true,
         }
     }
 
@@ -274,48 +351,141 @@ impl Campaign {
         self
     }
 
-    /// Runs every cell: a **fresh world per cell** (exploit cells on a
-    /// stock build, injection cells on an injector build, exactly like
-    /// the paper's setup), then monitors for violations.
+    /// Sets the worker count used by [`Campaign::run`]. `0` or unset
+    /// means one worker per hardware thread.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = (jobs > 0).then_some(jobs);
+        self
+    }
+
+    /// Enables or disables world-snapshot reuse. When enabled (the
+    /// default), each `(version, injector_enabled)` base world boots
+    /// once and every cell starts from a clone of it; when disabled,
+    /// every cell boots its own world through the factory, like the
+    /// paper's original setup. Booting is deterministic, so both paths
+    /// produce identical reports.
+    #[must_use]
+    pub fn reuse_snapshots(mut self, reuse: bool) -> Self {
+        self.reuse_snapshots = reuse;
+        self
+    }
+
+    /// Runs every cell with the configured worker count. Exploit cells
+    /// run on a stock build, injection cells on an injector build,
+    /// exactly like the paper's setup; each cell gets a pristine world
+    /// (a snapshot clone, or a fresh boot when snapshot reuse is off),
+    /// runs its scenario, then monitors for violations.
     pub fn run(&self) -> CampaignReport {
-        let mut cells = Vec::new();
-        for uc in &self.use_cases {
-            for &version in &self.versions {
-                for &mode in &self.modes {
-                    let injector_build = mode == Mode::Injection;
-                    let mut world = (self.factory)(version, injector_build);
-                    let attacker = world
-                        .domain_by_name(ATTACKER_GUEST)
-                        .or_else(|| world.domains().last().copied())
-                        .expect("world has at least one domain");
-                    let outcome = match mode {
-                        Mode::Exploit => uc.run_exploit(&mut world, attacker),
-                        Mode::Injection => {
-                            uc.run_injection(&mut world, attacker, &ArbitraryAccessInjector)
-                        }
-                    };
-                    let monitor = uc.monitor(&world, attacker);
-                    let observation = monitor.observe(&world);
-                    let handled = outcome.erroneous_state && observation.is_clean();
-                    cells.push(CellResult {
-                        use_case: uc.name().to_owned(),
-                        abusive_functionality: uc
-                            .intrusion_model()
-                            .abusive_functionality
-                            .label()
-                            .to_owned(),
-                        version,
-                        mode,
-                        erroneous_state: outcome.erroneous_state,
-                        violations: observation.violations,
-                        handled,
-                        notes: outcome.notes,
-                        error: outcome.error,
-                    });
-                }
+        self.run_with_jobs(self.jobs.unwrap_or_else(default_jobs))
+    }
+
+    /// Runs every cell on exactly `jobs` worker threads. Cell results
+    /// are slot-indexed, so the report's cell order — and, because each
+    /// cell starts from a pristine world, the cells themselves — are
+    /// identical for every worker count.
+    pub fn run_with_jobs(&self, jobs: usize) -> CampaignReport {
+        let work: Vec<(usize, XenVersion, Mode)> = self
+            .use_cases
+            .iter()
+            .enumerate()
+            .flat_map(|(uc, _)| {
+                self.versions.iter().flat_map(move |&version| {
+                    self.modes.iter().map(move |&mode| (uc, version, mode))
+                })
+            })
+            .collect();
+        if work.is_empty() {
+            return CampaignReport::default();
+        }
+
+        // Boot each required (version, injector_enabled) base world once;
+        // cells then start from clones instead of re-booting.
+        let mut snapshots: BTreeMap<(XenVersion, bool), World> = BTreeMap::new();
+        if self.reuse_snapshots {
+            for &(_, version, mode) in &work {
+                snapshots
+                    .entry((version, mode == Mode::Injection))
+                    .or_insert_with(|| (self.factory)(version, mode == Mode::Injection));
             }
         }
-        CampaignReport { cells }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            work.iter().map(|_| Mutex::new(None)).collect();
+        let workers = jobs.max(1).min(work.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(uc, version, mode)) = work.get(i) else {
+                        break;
+                    };
+                    let snapshot = snapshots.get(&(version, mode == Mode::Injection));
+                    let cell = self.run_cell(&*self.use_cases[uc], version, mode, snapshot);
+                    *slots[i].lock().expect("result slot poisoned") = Some(cell);
+                });
+            }
+        });
+
+        CampaignReport {
+            cells: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every work item produces a cell")
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs one cell on the calling thread.
+    fn run_cell(
+        &self,
+        uc: &dyn UseCase,
+        version: XenVersion,
+        mode: Mode,
+        snapshot: Option<&World>,
+    ) -> CellResult {
+        let start = Instant::now();
+        let mut world = match snapshot {
+            Some(base) => base.clone(),
+            None => (self.factory)(version, mode == Mode::Injection),
+        };
+        let base_hypercalls = world.hv().hypercall_count();
+        let attacker = world
+            .domain_by_name(ATTACKER_GUEST)
+            .or_else(|| world.domains().last().copied())
+            .expect("world has at least one domain");
+        let outcome = match mode {
+            Mode::Exploit => uc.run_exploit(&mut world, attacker),
+            Mode::Injection => uc.run_injection(&mut world, attacker, &ArbitraryAccessInjector),
+        };
+        let monitor = uc.monitor(&world, attacker);
+        let observation = monitor.observe(&world);
+        let handled = outcome.erroneous_state && observation.is_clean();
+        CellResult {
+            use_case: uc.name().to_owned(),
+            abusive_functionality: uc.intrusion_model().abusive_functionality.label().to_owned(),
+            version,
+            mode,
+            erroneous_state: outcome.erroneous_state,
+            violations: observation.violations,
+            handled,
+            notes: outcome.notes,
+            error: outcome.error,
+            wall_time_us: 0, // patched below, after the clock stops
+            hypercalls: world.hv().hypercall_count().saturating_sub(base_hypercalls),
+        }
+        .with_wall_time(start.elapsed().as_micros() as u64)
+    }
+}
+
+impl CellResult {
+    fn with_wall_time(mut self, wall_time_us: u64) -> Self {
+        self.wall_time_us = wall_time_us;
+        self
     }
 }
 
@@ -439,6 +609,38 @@ mod tests {
         assert!(f2.contains("injection"));
         let json = report.to_json().unwrap();
         assert!(json.contains("\"use_case\""));
+    }
+
+    #[test]
+    fn worker_count_and_snapshot_reuse_do_not_change_the_report() {
+        let campaign = Campaign::new().with_use_case(Box::new(CrashCase));
+        let serial = campaign.run_with_jobs(1).normalized().to_json().unwrap();
+        let parallel = campaign.run_with_jobs(4).normalized().to_json().unwrap();
+        assert_eq!(serial, parallel, "jobs=1 and jobs=4 reports must be byte-identical");
+        let booted = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .reuse_snapshots(false)
+            .run_with_jobs(2)
+            .normalized()
+            .to_json()
+            .unwrap();
+        assert_eq!(serial, booted, "snapshot clones must equal fresh boots");
+    }
+
+    #[test]
+    fn cells_record_timing_and_hypercalls() {
+        let report = Campaign::new().with_use_case(Box::new(CrashCase)).run();
+        // Every injection cell goes through the injector's hypercalls.
+        for c in report.cells().iter().filter(|c| c.mode == Mode::Injection) {
+            assert!(c.hypercalls > 0, "injection on {} made no hypercalls", c.version);
+        }
+        assert!(report.total_hypercalls() > 0);
+        assert!(report.total_wall_time_us() > 0);
+        // Normalization zeroes the only non-deterministic field.
+        assert!(report.normalized().cells().iter().all(|c| c.wall_time_us == 0));
+        let t = CampaignThroughput::new(&report, 2, 1_000_000);
+        assert_eq!(t.cells, report.cells().len());
+        assert!((t.cells_per_sec - t.cells as f64).abs() < 1e-9);
     }
 
     #[test]

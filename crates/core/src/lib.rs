@@ -84,7 +84,9 @@ pub mod taxonomy;
 
 pub use avi::{ThreatChain, ThreatLink, ThreatStage};
 pub use benchmark::{SecurityAttribute, SecurityBenchmark, VersionScore};
-pub use campaign::{Campaign, CampaignReport, CellResult, WorldFactory};
+pub use campaign::{
+    default_jobs, Campaign, CampaignReport, CampaignThroughput, CellResult, WorldFactory,
+};
 pub use erroneous_state::{ErroneousStateSpec, StateAudit};
 pub use injector::{ArbitraryAccessInjector, DebugStubInjector, InjectError, InjectionEvidence, Injector};
 pub use model::{AttackInterface, IntrusionModel, StateTrace, TargetComponent, TriggeringSource};

@@ -94,7 +94,10 @@ impl fmt::Display for SecurityViolation {
 }
 
 /// One violation detector.
-pub trait Detector {
+///
+/// `Send + Sync` so monitors can be built and consulted on campaign
+/// worker threads.
+pub trait Detector: Send + Sync {
     /// Detector name for reports.
     fn name(&self) -> &'static str;
     /// Inspects the world and reports violations.

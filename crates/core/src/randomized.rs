@@ -7,6 +7,7 @@
 //! component made concrete), injects each into a fresh world, exercises
 //! the system, and classifies the outcome.
 
+use crate::campaign::default_jobs;
 use crate::erroneous_state::ErroneousStateSpec;
 use crate::injector::{ArbitraryAccessInjector, Injector};
 use crate::monitor::Monitor;
@@ -18,6 +19,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Where randomized injections land — the concrete footprint of an
 /// intrusion model's target component.
@@ -92,7 +96,7 @@ impl TargetRegion {
 }
 
 /// Classification of one randomized trial.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RandomizedOutcome {
     /// What was injected (label + evidence).
     pub spec: String,
@@ -102,7 +106,28 @@ pub struct RandomizedOutcome {
     pub crashed: bool,
     /// Number of security violations observed.
     pub violations: usize,
+    /// Wall-clock time for this trial (world clone + injection +
+    /// activation + monitoring), in microseconds.
+    pub wall_time_us: u64,
+    /// Hypercalls executed during this trial (deterministic for a given
+    /// seed).
+    pub hypercalls: u64,
 }
+
+/// Equality ignores `wall_time_us`: timing is the only
+/// non-deterministic field, and reproducibility checks compare
+/// outcomes across runs and worker counts.
+impl PartialEq for RandomizedOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.injected == other.injected
+            && self.crashed == other.crashed
+            && self.violations == other.violations
+            && self.hypercalls == other.hypercalls
+    }
+}
+
+impl Eq for RandomizedOutcome {}
 
 /// Aggregated trial counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,64 +167,137 @@ pub struct RandomizedCampaign {
     pub trials: usize,
     /// RNG seed (campaigns are reproducible).
     pub seed: u64,
+    jobs: Option<usize>,
 }
 
 impl RandomizedCampaign {
-    /// A campaign of `trials` reproducible trials.
+    /// A campaign of `trials` reproducible trials, run on one worker per
+    /// hardware thread.
     pub fn new(region: TargetRegion, trials: usize, seed: u64) -> Self {
         Self {
             region,
             trials,
             seed,
+            jobs: None,
         }
     }
 
-    /// Runs the campaign: each trial gets a fresh world from `factory`,
-    /// one sampled injection, an activation shake, and a monitoring
-    /// pass.
+    /// Sets the worker count used by [`RandomizedCampaign::run`]. `0` or
+    /// unset means one worker per hardware thread.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = (jobs > 0).then_some(jobs);
+        self
+    }
+
+    /// Runs the campaign with the configured worker count.
+    ///
+    /// The factory is called once; every trial starts from a clone of
+    /// that base world (booting is deterministic, so a clone is
+    /// indistinguishable from a fresh boot). Trial `t` draws from its
+    /// own generator seeded `seed ^ t`, so the sampled inputs — and
+    /// therefore the outcomes and summary — are identical for every
+    /// worker count and every scheduling order.
     pub fn run(
         &self,
-        factory: impl Fn() -> (World, DomainId),
+        factory: impl Fn() -> (World, DomainId) + Send + Sync,
     ) -> (RandomizedSummary, Vec<RandomizedOutcome>) {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut outcomes = Vec::with_capacity(self.trials);
+        self.run_with_jobs(factory, self.jobs.unwrap_or_else(default_jobs))
+    }
+
+    /// Runs the campaign on exactly `jobs` worker threads.
+    pub fn run_with_jobs(
+        &self,
+        factory: impl Fn() -> (World, DomainId) + Send + Sync,
+        jobs: usize,
+    ) -> (RandomizedSummary, Vec<RandomizedOutcome>) {
+        if self.trials == 0 {
+            return (RandomizedSummary::default(), Vec::new());
+        }
+        let (base_world, attacker) = factory();
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TrialResult>>> =
+            (0..self.trials).map(|_| Mutex::new(None)).collect();
+        let workers = jobs.max(1).min(self.trials);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= self.trials {
+                        break;
+                    }
+                    let trial = self.run_trial(&base_world, attacker, t as u64);
+                    *slots[t].lock().expect("trial slot poisoned") = Some(trial);
+                });
+            }
+        });
+
+        // Fold the summary serially over the slot-ordered results, so
+        // counting never depends on completion order.
         let mut summary = RandomizedSummary {
             total: self.trials,
             ..Default::default()
         };
-        for _ in 0..self.trials {
-            let (mut world, attacker) = factory();
-            let spec = self.region.sample(&world, attacker, &mut rng);
-            let injected = ArbitraryAccessInjector
-                .inject(&mut world, attacker, &spec)
-                .is_ok();
-            if injected {
+        let mut outcomes = Vec::with_capacity(self.trials);
+        for slot in slots {
+            let trial = slot
+                .into_inner()
+                .expect("trial slot poisoned")
+                .expect("every trial produces a result");
+            if trial.outcome.injected {
                 summary.injected += 1;
             }
-            shake(&mut world, attacker);
-            let crashed = world.hv().is_crashed();
-            let observation = Monitor::standard().observe(&world);
-            let non_crash_violations = observation
-                .violations
-                .iter()
-                .filter(|v| !matches!(v, crate::monitor::SecurityViolation::HypervisorCrash { .. }))
-                .count();
-            if crashed {
+            if trial.outcome.crashed {
                 summary.crashes += 1;
-            } else if non_crash_violations > 0 {
+            } else if trial.non_crash_violations > 0 {
                 summary.violated += 1;
-            } else if injected {
+            } else if trial.outcome.injected {
                 summary.handled += 1;
             }
-            outcomes.push(RandomizedOutcome {
+            outcomes.push(trial.outcome);
+        }
+        (summary, outcomes)
+    }
+
+    /// Runs trial `t`: clone the base world, sample from the trial's own
+    /// generator, inject, shake, monitor.
+    fn run_trial(&self, base_world: &World, attacker: DomainId, t: u64) -> TrialResult {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ t);
+        let mut world = base_world.clone();
+        let base_hypercalls = world.hv().hypercall_count();
+        let spec = self.region.sample(&world, attacker, &mut rng);
+        let injected = ArbitraryAccessInjector
+            .inject(&mut world, attacker, &spec)
+            .is_ok();
+        shake(&mut world, attacker);
+        let crashed = world.hv().is_crashed();
+        let observation = Monitor::standard().observe(&world);
+        let non_crash_violations = observation
+            .violations
+            .iter()
+            .filter(|v| !matches!(v, crate::monitor::SecurityViolation::HypervisorCrash { .. }))
+            .count();
+        TrialResult {
+            outcome: RandomizedOutcome {
                 spec: format!("{} ({})", spec.label(), self.region.label()),
                 injected,
                 crashed,
                 violations: observation.violations.len(),
-            });
+                wall_time_us: start.elapsed().as_micros() as u64,
+                hypercalls: world.hv().hypercall_count().saturating_sub(base_hypercalls),
+            },
+            non_crash_violations,
         }
-        (summary, outcomes)
     }
+}
+
+/// One trial's outcome plus the non-crash violation count the summary
+/// fold needs.
+struct TrialResult {
+    outcome: RandomizedOutcome,
+    non_crash_violations: usize,
 }
 
 /// Post-injection activation: exercise the system so latent erroneous
@@ -259,6 +357,18 @@ mod tests {
         let (s2, o2) = campaign.run(factory(XenVersion::V4_13));
         assert_eq!(s1, s2);
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_summary_or_outcomes() {
+        let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 10, 99);
+        let (s1, o1) = campaign.run_with_jobs(factory(XenVersion::V4_8), 1);
+        let (s4, o4) = campaign.run_with_jobs(factory(XenVersion::V4_8), 4);
+        assert_eq!(s1, s4, "jobs=1 and jobs=4 summaries must match");
+        assert_eq!(o1, o4, "jobs=1 and jobs=4 outcomes must match, in order");
+        let (s, o) = campaign.with_jobs(4).run(factory(XenVersion::V4_8));
+        assert_eq!(s, s1);
+        assert_eq!(o, o1);
     }
 
     #[test]

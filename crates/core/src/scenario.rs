@@ -69,7 +69,10 @@ impl ScenarioOutcome {
 }
 
 /// One use case of the evaluation (paper Table II).
-pub trait UseCase {
+///
+/// `Send + Sync` because campaign cells run on worker threads sharing
+/// the use-case objects by reference.
+pub trait UseCase: Send + Sync {
     /// The use-case name as printed in the paper (e.g. `XSA-212-crash`).
     fn name(&self) -> &'static str;
 

@@ -56,6 +56,7 @@ impl Hypervisor {
         target: DomainId,
         op: DomctlOp,
     ) -> Result<u64, HvError> {
+        self.bump_hypercall_count();
         if self.is_crashed() {
             return Err(HvError::Crashed);
         }

@@ -92,6 +92,7 @@ impl Hypervisor {
         dom: DomainId,
         op: EventChannelOp,
     ) -> Result<u64, HvError> {
+        self.bump_hypercall_count();
         if self.is_crashed() {
             return Err(HvError::Crashed);
         }

@@ -276,9 +276,16 @@ impl Hypervisor {
         self.audit.clear();
     }
 
-    /// Total hypercalls dispatched.
+    /// Total hypercalls executed, counting both [`Hypervisor::dispatch`]
+    /// and direct calls to the `hc_*` entry points (exploit and injector
+    /// code call them directly).
     pub fn hypercall_count(&self) -> u64 {
         self.hypercall_count
+    }
+
+    /// Counts one hypercall; every `hc_*` entry point calls this first.
+    pub(crate) fn bump_hypercall_count(&mut self) {
+        self.hypercall_count += 1;
     }
 
     /// Looks up a domain.
@@ -925,7 +932,6 @@ impl Hypervisor {
                 r
             }
         };
-        self.hypercall_count += 1;
         self.audit.push(AuditEvent::Hypercall {
             dom,
             name,
@@ -941,6 +947,7 @@ impl Hypervisor {
     ///
     /// [`HvError::Crashed`] / [`HvError::NoDomain`] per the usual checks.
     pub fn hc_console_io(&mut self, dom: DomainId, line: &str) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(dom)?;
         self.console_line(format!("[{dom}] {line}"));
         Ok(0)
@@ -956,6 +963,7 @@ impl Hypervisor {
         dom: DomainId,
         entries: &[(u8, VirtAddr)],
     ) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(dom)?;
         let d = self.domain_mut(dom)?;
         for &(vector, va) in entries {
@@ -976,6 +984,7 @@ impl Hypervisor {
         dom: DomainId,
         args: &ExchangeArgs,
     ) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(dom)?;
         let unchecked = self.vulns.xsa212_exchange_unchecked_handle;
         if !unchecked && self.layout.region_of(args.out_extent_start) != Region::GuestVirtual {
@@ -1050,6 +1059,7 @@ impl Hypervisor {
         pfns: &[Pfn],
         after_cache_maintenance: bool,
     ) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(dom)?;
         let vulnerable = self.vulns.xsa393_decrease_reservation_keeps_mapping;
         let mut done = 0u64;
@@ -1088,6 +1098,7 @@ impl Hypervisor {
         dom: DomainId,
         version: GrantTableVersion,
     ) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(dom)?;
         let current = self.domain(dom)?.grant_table().version();
         match (current, version) {
@@ -1145,6 +1156,7 @@ impl Hypervisor {
         mfn: Mfn,
         writable: bool,
     ) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(dom)?;
         if self.mem.info(mfn)?.owner() != Some(dom) {
             return Err(HvError::Perm);
@@ -1170,6 +1182,7 @@ impl Hypervisor {
         granter: DomainId,
         gref: usize,
     ) -> Result<Mfn, HvError> {
+        self.hypercall_count += 1;
         self.check_alive(grantee)?;
         let entry = *self
             .domain(granter)?
@@ -1270,6 +1283,7 @@ impl Hypervisor {
         data: &mut [u8],
         mode: AccessMode,
     ) -> Result<u64, HvError> {
+        self.hypercall_count += 1;
         if !self.injector_enabled {
             return Err(HvError::NoSys);
         }

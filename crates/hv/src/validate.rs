@@ -38,6 +38,7 @@ impl Hypervisor {
     /// Stops at the first rejected update with its error; prior updates
     /// remain applied (as in Xen).
     pub fn hc_mmu_update(&mut self, dom: DomainId, updates: &[MmuUpdate]) -> Result<u64, HvError> {
+        self.bump_hypercall_count();
         self.ensure_alive(dom)?;
         let mut done = 0u64;
         for u in updates {
@@ -67,6 +68,7 @@ impl Hypervisor {
         va: VirtAddr,
         val: u64,
     ) -> Result<u64, HvError> {
+        self.bump_hypercall_count();
         self.ensure_alive(dom)?;
         let cr3 = self.domain(dom)?.cr3().ok_or(HvError::Inval)?;
         let (slot, _) = pte_slot(&self.mem, cr3, va, 1)?;
@@ -84,6 +86,7 @@ impl Hypervisor {
     /// Per-operation validation errors; processing stops at the first
     /// failure.
     pub fn hc_mmuext_op(&mut self, dom: DomainId, ops: &[MmuExtOp]) -> Result<u64, HvError> {
+        self.bump_hypercall_count();
         self.ensure_alive(dom)?;
         let mut done = 0u64;
         for op in ops {

@@ -1,0 +1,256 @@
+//! A minimal, dependency-free stand-in for the `bitflags` crate.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! crates.io `bitflags` cannot be fetched. This vendored substitute
+//! implements the subset of the `bitflags! { ... }` macro surface the
+//! workspace uses: flag constants, `empty`/`all`/`bits`/`from_bits*`,
+//! set algebra (`union`, `difference`, `intersection`, `contains`,
+//! `intersects`, `insert`, `remove`, `is_empty`) — all `const fn` where
+//! the workspace relies on const contexts — plus the bit-op operator
+//! impls. Attributes written inside the macro (including derives) are
+//! forwarded onto the generated newtype, matching bitflags 2.x.
+
+/// Generates a flags newtype. Subset of the real `bitflags!` macro.
+#[macro_export]
+macro_rules! bitflags {
+    (
+        $(#[$outer:meta])*
+        $vis:vis struct $Name:ident: $T:ty {
+            $(
+                $(#[$inner:meta])*
+                const $Flag:ident = $value:expr;
+            )*
+        }
+    ) => {
+        $(#[$outer])*
+        $vis struct $Name($T);
+
+        impl $Name {
+            $(
+                $(#[$inner])*
+                pub const $Flag: Self = Self($value);
+            )*
+
+            /// No flags set.
+            #[inline]
+            pub const fn empty() -> Self {
+                Self(0)
+            }
+
+            /// Every defined flag set.
+            #[inline]
+            pub const fn all() -> Self {
+                Self(0 $(| $value)*)
+            }
+
+            /// The raw bits.
+            #[inline]
+            pub const fn bits(&self) -> $T {
+                self.0
+            }
+
+            /// Builds from raw bits, keeping only defined flags.
+            #[inline]
+            pub const fn from_bits_truncate(bits: $T) -> Self {
+                Self(bits & Self::all().0)
+            }
+
+            /// Builds from raw bits; `None` if unknown bits are set.
+            #[inline]
+            pub const fn from_bits(bits: $T) -> Option<Self> {
+                if bits & !Self::all().0 == 0 {
+                    Some(Self(bits))
+                } else {
+                    None
+                }
+            }
+
+            /// Builds from raw bits without masking.
+            #[inline]
+            pub const fn from_bits_retain(bits: $T) -> Self {
+                Self(bits)
+            }
+
+            /// `true` if no flag is set.
+            #[inline]
+            pub const fn is_empty(&self) -> bool {
+                self.0 == 0
+            }
+
+            /// `true` if every flag in `other` is set in `self`.
+            #[inline]
+            pub const fn contains(&self, other: Self) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// `true` if any flag in `other` is set in `self`.
+            #[inline]
+            pub const fn intersects(&self, other: Self) -> bool {
+                self.0 & other.0 != 0
+            }
+
+            /// Set union.
+            #[inline]
+            #[must_use]
+            pub const fn union(self, other: Self) -> Self {
+                Self(self.0 | other.0)
+            }
+
+            /// Set intersection.
+            #[inline]
+            #[must_use]
+            pub const fn intersection(self, other: Self) -> Self {
+                Self(self.0 & other.0)
+            }
+
+            /// Flags in `self` but not in `other`.
+            #[inline]
+            #[must_use]
+            pub const fn difference(self, other: Self) -> Self {
+                Self(self.0 & !other.0)
+            }
+
+            /// Symmetric difference.
+            #[inline]
+            #[must_use]
+            pub const fn symmetric_difference(self, other: Self) -> Self {
+                Self(self.0 ^ other.0)
+            }
+
+            /// Every defined flag not in `self`.
+            #[inline]
+            #[must_use]
+            pub const fn complement(self) -> Self {
+                Self(!self.0 & Self::all().0)
+            }
+
+            /// Adds the flags in `other`.
+            #[inline]
+            pub fn insert(&mut self, other: Self) {
+                self.0 |= other.0;
+            }
+
+            /// Clears the flags in `other`.
+            #[inline]
+            pub fn remove(&mut self, other: Self) {
+                self.0 &= !other.0;
+            }
+
+            /// Adds or clears the flags in `other`.
+            #[inline]
+            pub fn set(&mut self, other: Self, value: bool) {
+                if value {
+                    self.insert(other);
+                } else {
+                    self.remove(other);
+                }
+            }
+
+            /// Toggles the flags in `other`.
+            #[inline]
+            pub fn toggle(&mut self, other: Self) {
+                self.0 ^= other.0;
+            }
+        }
+
+        impl ::core::ops::BitOr for $Name {
+            type Output = Self;
+            #[inline]
+            fn bitor(self, rhs: Self) -> Self {
+                Self(self.0 | rhs.0)
+            }
+        }
+
+        impl ::core::ops::BitOrAssign for $Name {
+            #[inline]
+            fn bitor_assign(&mut self, rhs: Self) {
+                self.0 |= rhs.0;
+            }
+        }
+
+        impl ::core::ops::BitAnd for $Name {
+            type Output = Self;
+            #[inline]
+            fn bitand(self, rhs: Self) -> Self {
+                Self(self.0 & rhs.0)
+            }
+        }
+
+        impl ::core::ops::BitAndAssign for $Name {
+            #[inline]
+            fn bitand_assign(&mut self, rhs: Self) {
+                self.0 &= rhs.0;
+            }
+        }
+
+        impl ::core::ops::BitXor for $Name {
+            type Output = Self;
+            #[inline]
+            fn bitxor(self, rhs: Self) -> Self {
+                Self(self.0 ^ rhs.0)
+            }
+        }
+
+        impl ::core::ops::BitXorAssign for $Name {
+            #[inline]
+            fn bitxor_assign(&mut self, rhs: Self) {
+                self.0 ^= rhs.0;
+            }
+        }
+
+        impl ::core::ops::Sub for $Name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                self.difference(rhs)
+            }
+        }
+
+        impl ::core::ops::SubAssign for $Name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = self.difference(rhs);
+            }
+        }
+
+        impl ::core::ops::Not for $Name {
+            type Output = Self;
+            #[inline]
+            fn not(self) -> Self {
+                self.complement()
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    bitflags! {
+        #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+        pub struct Test: u64 {
+            const A = 1 << 0;
+            const B = 1 << 1;
+            const HIGH = 1 << 63;
+        }
+    }
+
+    #[test]
+    fn algebra() {
+        const AB: Test = Test::A.union(Test::B);
+        assert!(AB.contains(Test::A));
+        assert_eq!(AB.difference(Test::B), Test::A);
+        assert_eq!(Test::all().bits(), (1 << 0) | (1 << 1) | (1 << 63));
+        assert_eq!(Test::from_bits_truncate(u64::MAX), Test::all());
+        assert!(Test::from_bits(1 << 5).is_none());
+        let mut f = Test::empty();
+        assert!(f.is_empty());
+        f.insert(Test::HIGH);
+        assert!(f.intersects(Test::HIGH));
+        f.remove(Test::HIGH);
+        assert!(f.is_empty());
+        assert_eq!(Test::A | Test::B, AB);
+        assert_eq!(AB & Test::B, Test::B);
+        assert_eq!(AB - Test::B, Test::A);
+        assert_eq!(!Test::A, Test::B | Test::HIGH);
+    }
+}

@@ -1,0 +1,211 @@
+//! A minimal, dependency-free stand-in for `criterion`.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! crates.io `criterion` cannot be fetched. This vendored substitute
+//! keeps the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize`, `criterion_group!`,
+//! `criterion_main!` — over a simple calibrate-then-sample wall-clock
+//! harness. Results are printed as `id ... time: [mean]` lines; there
+//! is no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are amortized; accepted for API compatibility,
+/// measurement is identical for every size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        samples.push(b.mean_ns);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = samples.first().copied().unwrap_or(0.0);
+    let max = samples.last().copied().unwrap_or(0.0);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<55} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times closures for one measurement sample.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+/// Wall-clock budget for one calibrated measurement.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    /// Times `routine`, doubling the iteration count until the sample
+    /// budget is spent, and records mean nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= SAMPLE_BUDGET || n >= 1 << 24 {
+                self.mean_ns = dt.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut timed = Duration::ZERO;
+        let mut n: u64 = 0;
+        while timed < SAMPLE_BUDGET && n < 1 << 24 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            n += 1;
+        }
+        self.mean_ns = timed.as_nanos() as f64 / n.max(1) as f64;
+    }
+}
+
+/// Prevents the optimizer from eliding a value (criterion re-export).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns > 0.0);
+
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,433 @@
+//! A minimal, dependency-free stand-in for `serde_derive`.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! crates.io `serde_derive` (and its syn/quote dependencies) cannot be
+//! fetched. This vendored substitute parses the derive input by walking
+//! the raw `proc_macro::TokenStream` and emits impls of the vendored
+//! `serde::Serialize`/`serde::Deserialize` traits (the `Value`-model
+//! variants, not the real streaming traits) as generated source text.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! structs (named, tuple/newtype, unit) and enums (unit, newtype,
+//! tuple, struct variants), all without generic parameters. Generic
+//! types and `#[serde(...)]` attributes produce a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives the vendored `serde::Serialize` (Value-model) trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` (Value-model) trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::core::compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        let msg = format!("vendored serde_derive produced invalid code: {e:?}");
+        format!("::core::compile_error!({msg:?});").parse().unwrap()
+    })
+}
+
+// --------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------
+
+/// Collects a stream into trees, splicing the contents of
+/// None-delimited groups (invisible delimiters around macro fragment
+/// expansions, e.g. a `$vis:vis` inside `bitflags!`) in place.
+fn flatten(input: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    for tree in input {
+        match tree {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {
+                out.extend(flatten(g.stream()));
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = flatten(input);
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Advances past any `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Punct(p)) = toks.get(*i) {
+                    if p.as_char() == '!' {
+                        *i += 1;
+                    }
+                }
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        *i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advances past tokens until a comma at angle-bracket depth zero, then
+/// past the comma itself. Groups are atomic tokens, so only `<`/`>`
+/// need explicit depth tracking.
+fn skip_to_next_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0u32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = flatten(body);
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_to_next_comma(&toks, &mut i);
+        names.push(name);
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = flatten(body);
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_to_next_comma(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let toks: Vec<TokenTree> = flatten(body);
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                i += 1;
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Past an optional `= discriminant` and the trailing comma.
+        skip_to_next_comma(&toks, &mut i);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------------
+// Codegen: Serialize
+// --------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(unused, clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{entries}])")
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let vals: String = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{vals}])")
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|(v, f)| ser_variant_arm(name, v, f)).collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn ser_variant_arm(name: &str, v: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"),
+        Fields::Tuple(1) => format!(
+            "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![({v:?}.to_string(), \
+             ::serde::Serialize::to_value(__f0))]),\n"
+        ),
+        Fields::Tuple(n) => {
+            let binds: String = (0..*n).map(|k| format!("__f{k},")).collect();
+            let vals: String = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(__f{k}),"))
+                .collect();
+            format!(
+                "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![({v:?}.to_string(), \
+                 ::serde::Value::Seq(::std::vec![{vals}]))]),\n"
+            )
+        }
+        Fields::Named(fs) => {
+            let binds: String = fs.iter().map(|f| format!("{f},")).collect();
+            let entries: String = fs
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![({v:?}.to_string(), \
+                 ::serde::Value::Map(::std::vec![{entries}]))]),\n"
+            )
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Codegen: Deserialize
+// --------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: String = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_entry(__m, {f:?})?,"))
+                        .collect();
+                    format!(
+                        "let __m = v.as_map().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?,"))
+                        .collect();
+                    format!(
+                        "let __s = v.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __s.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                         ::core::result::Result::Ok({name}({inits}))"
+                    )
+                }
+                Fields::Unit => format!(
+                    "match v {{ ::serde::Value::Null => ::core::result::Result::Ok({name}), \
+                     _ => ::core::result::Result::Err(::serde::Error::custom(\
+                     \"expected null for {name}\")) }}"
+                ),
+            };
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, f)| de_variant_arm(name, v, f))
+                .collect();
+            format!(
+                "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::core::option::Option::Some(__s) = v.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")),\n}};\n}}\n\
+                 if let ::core::option::Option::Some(__m) = v.as_map() {{\n\
+                 if __m.len() == 1 {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 return match __k.as_str() {{\n{data_arms}\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")),\n}};\n}}\n}}\n\
+                 ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected enum {name}\"))\n}}\n}}"
+            )
+        }
+    }
+}
+
+fn de_variant_arm(name: &str, v: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => unreachable!("unit variants handled in the string branch"),
+        Fields::Tuple(1) => format!(
+            "{v:?} => ::core::result::Result::Ok({name}::{v}(\
+             ::serde::Deserialize::from_value(__inner)?)),\n"
+        ),
+        Fields::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?,"))
+                .collect();
+            format!(
+                "{v:?} => {{\n\
+                 let __s = __inner.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                 if __s.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\n\
+                 ::core::result::Result::Ok({name}::{v}({inits}))\n}}\n"
+            )
+        }
+        Fields::Named(fs) => {
+            let inits: String = fs
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_entry(__f, {f:?})?,"))
+                .collect();
+            format!(
+                "{v:?} => {{\n\
+                 let __f = __inner.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                 ::core::result::Result::Ok({name}::{v} {{ {inits} }})\n}}\n"
+            )
+        }
+    }
+}

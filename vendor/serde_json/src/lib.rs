@@ -1,0 +1,488 @@
+//! A minimal, dependency-free stand-in for `serde_json`.
+//!
+//! Renders and parses the vendored `serde::Value` data model as JSON.
+//! Output shape matches what real serde_json produces for the types in
+//! this workspace: structs as objects, unit enum variants as strings,
+//! data-carrying variants as single-key objects, maps as objects with
+//! stringified keys, compact (`to_string`) and 2-space-indented pretty
+//! (`to_string_pretty`) forms.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value cannot be represented (kept for
+/// signature compatibility; the Value model always renders).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty JSON with 2-space indentation.
+///
+/// # Errors
+///
+/// Same contract as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Same contract as [`to_string`].
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+// --------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, level: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no Inf/NaN; real serde_json errors, we emit null.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of JSON"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            b't' => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error::new(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::new("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::new("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().ok_or_else(|| Error::new("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated unicode escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::new("bad unicode escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad unicode escape"))?;
+        self.pos += 4;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-5i32).unwrap(), "-5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>(" -5 ").unwrap(), -5);
+        assert_eq!(from_str::<String>(r#""a\"b\n""#).unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![1u8, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u8>>(&json).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![0u64, 9]);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"k":[0,9]}"#);
+        assert_eq!(from_str::<BTreeMap<String, Vec<u64>>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn pretty_indents_with_two_spaces() {
+        let v = vec![vec![1u8], vec![]];
+        let json = to_string_pretty(&v).unwrap();
+        assert_eq!(json, "[\n  [\n    1\n  ],\n  []\n]");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""A😀""#).unwrap(), "A😀");
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("4x").is_err());
+        assert!(from_str::<Vec<u8>>("[1,").is_err());
+        assert!(from_str::<String>(r#""abc"#).is_err());
+    }
+}
