@@ -42,16 +42,41 @@ fn main() {
             "  {:<13} on {:<4} -> {}",
             cell.use_case,
             cell.version.to_string(),
-            cell.error.as_deref().unwrap_or("(succeeded?!)")
+            cell.error
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "(succeeded?!)".to_owned())
         );
+    }
+
+    // Harness degradation is reported separately from assessment data:
+    // a crashed or timed-out cell tells us nothing about the version
+    // under test, so it must not be silently folded into the tables.
+    let degraded: Vec<_> = report.degraded_cells().collect();
+    if !degraded.is_empty() {
+        println!("\ndegraded cells (harness failures, excluded from assessment):");
+        for cell in &degraded {
+            println!(
+                "  {:<13} on {:<4} {:<9} -> {}",
+                cell.use_case,
+                cell.version.to_string(),
+                cell.mode.to_string(),
+                cell.error
+                    .as_ref()
+                    .map(ToString::to_string)
+                    .unwrap_or_else(|| format!("{:?}", cell.outcome))
+            );
+        }
     }
 
     // Throughput summary + machine-readable benchmark record.
     let throughput =
         CampaignThroughput::new(&report, workers, elapsed.as_micros() as u64);
     println!(
-        "\nthroughput: {} cells in {:.1} ms on {} workers \
+        "\nthroughput: {} completed + {} degraded of {} cells in {:.1} ms on {} workers \
          ({:.0} cells/sec, {} us cell time, {} hypercalls)",
+        throughput.completed_cells,
+        throughput.degraded_cells,
         throughput.cells,
         throughput.elapsed_us as f64 / 1000.0,
         throughput.workers,

@@ -24,8 +24,12 @@ use intrusion_core::{Campaign, CampaignReport};
 use xsa_exploits::paper_use_cases;
 
 /// Builds the standard world plus the attacker handle used everywhere.
+///
+/// The regenerators are batch tools, not the fail-soft campaign engine:
+/// a boot failure here is unrecoverable, so this panics instead of
+/// threading `BootError` through every binary.
 pub fn attack_world(version: XenVersion, injector: bool) -> (World, DomainId) {
-    let world = standard_world(version, injector);
+    let world = standard_world(version, injector).expect("standard world boots");
     let attacker = world.domain_by_name("guest03").expect("standard world has guest03");
     (world, attacker)
 }

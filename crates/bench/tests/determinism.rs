@@ -10,11 +10,11 @@ use intrusion_core::{RandomizedCampaign, TargetRegion};
 #[test]
 fn paper_campaign_report_is_worker_count_independent() {
     let serial = paper_campaign().run_with_jobs(1);
-    let parallel = paper_campaign().run_with_jobs(4);
+    let parallel = paper_campaign().run_with_jobs(8);
     assert_eq!(
         serial.normalized().to_json().unwrap(),
         parallel.normalized().to_json().unwrap(),
-        "jobs=1 and jobs=4 must produce byte-identical reports"
+        "jobs=1 and jobs=8 must produce byte-identical reports"
     );
 }
 
@@ -40,9 +40,9 @@ fn paper_campaign_records_cell_metrics() {
 #[test]
 fn randomized_sweep_is_worker_count_independent() {
     let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 16, 7);
-    let factory = || attack_world(XenVersion::V4_8, true);
-    let (s1, o1) = campaign.run_with_jobs(factory, 1);
-    let (s4, o4) = campaign.run_with_jobs(factory, 4);
+    let factory = || Ok(attack_world(XenVersion::V4_8, true));
+    let (s1, o1) = campaign.run_with_jobs(factory, 1).unwrap();
+    let (s4, o4) = campaign.run_with_jobs(factory, 8).unwrap();
     assert_eq!(s1, s4);
     assert_eq!(o1, o4);
 }

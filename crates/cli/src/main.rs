@@ -16,11 +16,12 @@ mod args;
 use args::{ArgError, Parsed};
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
-    ArbitraryAccessInjector, Campaign, Mode, RandomizedCampaign, SecurityBenchmark, TargetRegion,
-    UseCase,
+    ArbitraryAccessInjector, Campaign, CampaignReport, Mode, RandomizedCampaign, RandomizedSummary,
+    SecurityBenchmark, TargetRegion, UseCase,
 };
 use hvsim::XenVersion;
 use std::process::ExitCode;
+use std::time::Duration;
 use xsa_exploits::{extension_use_cases, paper_use_cases};
 
 const HELP: &str = "\
@@ -34,6 +35,8 @@ COMMANDS:
                    [--extensions]  include the extension use cases
                    [--json]        emit the raw cell report as JSON
                    [--jobs <n>]    worker threads (default: hardware threads)
+                   [--cell-deadline-ms <n>]  per-cell watchdog deadline (default: none)
+                   [--retries <n>] extra boot attempts for transient failures (default 0)
     run          run one use case once
                    --use-case <name>      e.g. XSA-212-crash (see 'models')
                    [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
@@ -44,12 +47,64 @@ COMMANDS:
                    [--seed <n>]     default 7
                    [--version <v>]  default 4.8
                    [--jobs <n>]     worker threads (default: hardware threads)
+                   [--retries <n>]  retry budget for boots and panicking trials (default 0)
     benchmark    score and rank versions by erroneous-state handling
                    [--jobs <n>]    worker threads (default: hardware threads)
+                   [--cell-deadline-ms <n>]  per-cell watchdog deadline (default: none)
+                   [--retries <n>] extra boot attempts for transient failures (default 0)
     taxonomy     print the abusive-functionality study (Table I)
     models       list the available use cases and their intrusion models
     help         this text
+
+EXIT CODES:
+    0  clean run, no security violations observed
+    1  the assessment observed at least one security violation (that is
+       the expected result of the paper's campaigns)
+    2  harness degradation (a cell crashed / timed out / failed to boot)
+       or a CLI error
 ";
+
+/// What the process should report via its exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CliOutcome {
+    /// Exit 0: nothing violated, nothing degraded.
+    Clean,
+    /// Exit 1: the assessment observed security violations.
+    Violations,
+    /// Exit 2: the harness degraded (crash / deadline / boot failure).
+    Degraded,
+}
+
+impl CliOutcome {
+    fn exit_code(self) -> ExitCode {
+        match self {
+            CliOutcome::Clean => ExitCode::SUCCESS,
+            CliOutcome::Violations => ExitCode::from(1),
+            CliOutcome::Degraded => ExitCode::from(2),
+        }
+    }
+
+    /// Degradation dominates violations; violations dominate clean.
+    fn for_report(report: &CampaignReport) -> Self {
+        if report.is_degraded() {
+            CliOutcome::Degraded
+        } else if report.has_violations() {
+            CliOutcome::Violations
+        } else {
+            CliOutcome::Clean
+        }
+    }
+
+    fn for_summary(summary: &RandomizedSummary) -> Self {
+        if summary.degraded > 0 {
+            CliOutcome::Degraded
+        } else if summary.crashes > 0 || summary.violated > 0 {
+            CliOutcome::Violations
+        } else {
+            CliOutcome::Clean
+        }
+    }
+}
 
 fn parse_version(p: &Parsed) -> Result<XenVersion, ArgError> {
     parse_version_or(p, "4.6")
@@ -76,6 +131,31 @@ fn parse_jobs(p: &Parsed) -> Result<usize, String> {
         .map_err(|_| "--jobs must be a number".to_owned())
 }
 
+/// Parses `--retries` (extra attempts for transient boot failures).
+fn parse_retries(p: &Parsed) -> Result<u32, String> {
+    p.get_or("retries", "0")
+        .parse()
+        .map_err(|_| "--retries must be a number".to_owned())
+}
+
+/// Parses `--cell-deadline-ms` into the optional watchdog deadline.
+fn parse_cell_deadline(p: &Parsed) -> Result<Option<Duration>, String> {
+    match p.get_or("cell-deadline-ms", "0").parse::<u64>() {
+        Ok(0) => Ok(None),
+        Ok(ms) => Ok(Some(Duration::from_millis(ms))),
+        Err(_) => Err("--cell-deadline-ms must be a number".to_owned()),
+    }
+}
+
+/// Applies the shared fault-containment options to a campaign.
+fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, String> {
+    campaign = campaign.jobs(parse_jobs(p)?).retries(parse_retries(p)?);
+    if let Some(deadline) = parse_cell_deadline(p)? {
+        campaign = campaign.cell_deadline(deadline);
+    }
+    Ok(campaign)
+}
+
 fn all_use_cases() -> Vec<Box<dyn UseCase>> {
     paper_use_cases().into_iter().chain(extension_use_cases()).collect()
 }
@@ -84,8 +164,8 @@ fn find_use_case(name: &str) -> Option<Box<dyn UseCase>> {
     all_use_cases().into_iter().find(|uc| uc.name().eq_ignore_ascii_case(name))
 }
 
-fn cmd_campaign(p: &Parsed) -> Result<(), String> {
-    let mut campaign = Campaign::new().jobs(parse_jobs(p)?);
+fn cmd_campaign(p: &Parsed) -> Result<CliOutcome, String> {
+    let mut campaign = configure_campaign(Campaign::new(), p)?;
     for uc in paper_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
@@ -96,17 +176,27 @@ fn cmd_campaign(p: &Parsed) -> Result<(), String> {
     }
     eprintln!("running the campaign ...");
     let report = campaign.run();
+    let outcome = CliOutcome::for_report(&report);
     if p.has_flag("json") {
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
-        return Ok(());
+        return Ok(outcome);
     }
     println!("{}", report.render_table2());
     println!("{}", report.render_fig4());
     println!("{}", report.render_table3());
-    Ok(())
+    let degraded = report.degraded_cells().count();
+    if degraded > 0 {
+        eprintln!("warning: {degraded} cell(s) degraded (crash / deadline / boot failure):");
+        for cell in report.degraded_cells() {
+            let error =
+                cell.error.as_ref().map_or_else(|| "unknown".to_owned(), ToString::to_string);
+            eprintln!("  ! {} / Xen {} / {}: {error}", cell.use_case, cell.version, cell.mode);
+        }
+    }
+    Ok(outcome)
 }
 
-fn cmd_run(p: &Parsed) -> Result<(), String> {
+fn cmd_run(p: &Parsed) -> Result<CliOutcome, String> {
     let name = p.require("use-case").map_err(|e| e.to_string())?;
     let uc = find_use_case(name).ok_or_else(|| {
         format!("unknown use case '{name}' (see 'intrusion-injector models')")
@@ -117,8 +207,11 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
         "injection" => Mode::Injection,
         other => return Err(format!("--mode got '{other}', expected exploit|injection")),
     };
-    let mut world = standard_world(version, mode == Mode::Injection);
-    let attacker = world.domain_by_name("guest03").expect("standard world");
+    let mut world = standard_world(version, mode == Mode::Injection)
+        .map_err(|e| format!("world failed to boot: {e}"))?;
+    let attacker = world
+        .domain_by_name("guest03")
+        .ok_or_else(|| "standard world has no attacker guest".to_owned())?;
     println!("{} / Xen {version} / {mode}", uc.name());
     println!("intrusion model: {}", uc.intrusion_model());
     let outcome = match mode {
@@ -138,16 +231,17 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
     let observation = uc.monitor(&world, attacker).observe(&world);
     if observation.is_clean() {
         println!("security violations: none (state handled)");
+        Ok(CliOutcome::Clean)
     } else {
         println!("security violations:");
         for v in &observation.violations {
             println!("  ! {v}");
         }
+        Ok(CliOutcome::Violations)
     }
-    Ok(())
 }
 
-fn cmd_randomized(p: &Parsed) -> Result<(), String> {
+fn cmd_randomized(p: &Parsed) -> Result<CliOutcome, String> {
     let region = match p.get_or("region", "idt") {
         "idt" => TargetRegion::IdtGates { cpu: 0 },
         "l3" => TargetRegion::SharedL3,
@@ -160,25 +254,34 @@ fn cmd_randomized(p: &Parsed) -> Result<(), String> {
     // The randomized sweep targets a non-vulnerable version by default
     // (the HELP text's documented 4.8), unlike `run`'s 4.6.
     let version = parse_version_or(p, "4.8").map_err(|e| e.to_string())?;
-    let campaign = RandomizedCampaign::new(region, trials, seed).with_jobs(parse_jobs(p)?);
+    let campaign = RandomizedCampaign::new(region, trials, seed)
+        .with_jobs(parse_jobs(p)?)
+        .retries(parse_retries(p)?);
     eprintln!("running {trials} trials against {} on Xen {version} ...", region.label());
-    let (summary, outcomes) = campaign.run(|| {
-        let w = standard_world(version, true);
-        let a = w.domain_by_name("guest03").expect("standard world");
-        (w, a)
-    });
+    let (summary, outcomes) = campaign
+        .run(|| {
+            let w = standard_world(version, true)?;
+            let a = w
+                .domain_by_name("guest03")
+                .ok_or_else(|| guestos::BootError::new("find attacker", "no guest03"))?;
+            Ok((w, a))
+        })
+        .map_err(|e| e.to_string())?;
     println!("{summary}");
     for (i, o) in outcomes.iter().enumerate() {
-        println!(
-            "  trial {i:>3}: {} injected={} crashed={} violations={}",
-            o.spec, o.injected, o.crashed, o.violations
-        );
+        match &o.error {
+            Some(error) => println!("  trial {i:>3}: degraded: {error}"),
+            None => println!(
+                "  trial {i:>3}: {} injected={} crashed={} violations={}",
+                o.spec, o.injected, o.crashed, o.violations
+            ),
+        }
     }
-    Ok(())
+    Ok(CliOutcome::for_summary(&summary))
 }
 
-fn cmd_benchmark(p: &Parsed) -> Result<(), String> {
-    let mut campaign = Campaign::new().jobs(parse_jobs(p)?);
+fn cmd_benchmark(p: &Parsed) -> Result<CliOutcome, String> {
+    let mut campaign = configure_campaign(Campaign::new(), p)?;
     for uc in all_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
@@ -189,10 +292,10 @@ fn cmd_benchmark(p: &Parsed) -> Result<(), String> {
     for (i, (version, score)) in benchmark.ranking().iter().enumerate() {
         println!("  {}. Xen {version}  score {score:.2}", i + 1);
     }
-    Ok(())
+    Ok(CliOutcome::for_report(&report))
 }
 
-fn cmd_models() -> Result<(), String> {
+fn cmd_models() -> Result<CliOutcome, String> {
     for uc in all_use_cases() {
         let im = uc.intrusion_model();
         println!("{:<14} {im}", uc.name());
@@ -200,10 +303,10 @@ fn cmd_models() -> Result<(), String> {
             println!("{:<14}   generalizes: {}", "", im.related_advisories.join(", "));
         }
     }
-    Ok(())
+    Ok(CliOutcome::Clean)
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
+fn run(argv: Vec<String>) -> Result<CliOutcome, String> {
     let parsed = args::parse(argv).map_err(|e| e.to_string())?;
     match parsed.command.as_str() {
         "campaign" => cmd_campaign(&parsed),
@@ -212,12 +315,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "benchmark" => cmd_benchmark(&parsed),
         "taxonomy" => {
             println!("{}", xsa_exploits::advisories::render_table1());
-            Ok(())
+            Ok(CliOutcome::Clean)
         }
         "models" => cmd_models(),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
-            Ok(())
+            Ok(CliOutcome::Clean)
         }
         other => Err(format!("unknown command '{other}' (try 'help')")),
     }
@@ -227,10 +330,12 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let argv = if argv.is_empty() { vec!["help".to_owned()] } else { argv };
     match run(argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(outcome) => outcome.exit_code(),
+        // CLI errors are harness failures, same exit class as a
+        // degraded campaign.
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -333,5 +438,82 @@ mod tests {
     #[test]
     fn taxonomy_prints() {
         run(vec!["taxonomy".into()]).unwrap();
+    }
+
+    #[test]
+    fn exit_outcomes_reflect_observations() {
+        // The hardened version handles the injected state: exit 0.
+        let outcome = run(vec![
+            "run".into(),
+            "--use-case".into(),
+            "XSA-182-test".into(),
+            "--version".into(),
+            "4.13".into(),
+            "--mode".into(),
+            "injection".into(),
+        ])
+        .unwrap();
+        assert_eq!(outcome, CliOutcome::Clean);
+        // The vulnerable version crashes: violations, exit 1.
+        let outcome = run(vec![
+            "run".into(),
+            "--use-case".into(),
+            "XSA-212-crash".into(),
+            "--version".into(),
+            "4.6".into(),
+            "--mode".into(),
+            "injection".into(),
+        ])
+        .unwrap();
+        assert_eq!(outcome, CliOutcome::Violations);
+    }
+
+    #[test]
+    fn degradation_dominates_violations_in_exit_mapping() {
+        use intrusion_core::{CampaignError, CellOutcome, CellResult, SecurityViolation};
+        let cell = |violations: Vec<SecurityViolation>, error: Option<CampaignError>| CellResult {
+            use_case: "t".into(),
+            abusive_functionality: "f".into(),
+            version: XenVersion::V4_6,
+            mode: Mode::Injection,
+            erroneous_state: true,
+            violations,
+            handled: false,
+            notes: vec![],
+            error,
+            outcome: CellOutcome::Completed,
+            attempts: 1,
+            wall_time_us: 0,
+            hypercalls: 0,
+        };
+        let violation = SecurityViolation::HypervisorCrash { message: "x".into() };
+        let clean = CampaignReport::from_cells(vec![cell(vec![], None)]);
+        assert_eq!(CliOutcome::for_report(&clean), CliOutcome::Clean);
+        let violated = CampaignReport::from_cells(vec![cell(vec![violation.clone()], None)]);
+        assert_eq!(CliOutcome::for_report(&violated), CliOutcome::Violations);
+        let degraded = CampaignReport::from_cells(vec![
+            cell(vec![violation], None),
+            cell(vec![], Some(CampaignError::HarnessCrash { payload: "boom".into() })),
+        ]);
+        assert_eq!(CliOutcome::for_report(&degraded), CliOutcome::Degraded);
+    }
+
+    #[test]
+    fn fault_containment_flags_parse_and_reject_garbage() {
+        run(vec![
+            "randomized".into(),
+            "--trials".into(),
+            "2".into(),
+            "--version".into(),
+            "4.13".into(),
+            "--retries".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        let err = run(vec!["randomized".into(), "--retries".into(), "lots".into()]).unwrap_err();
+        assert!(err.contains("--retries"));
+        let err =
+            run(vec!["campaign".into(), "--cell-deadline-ms".into(), "soon".into()]).unwrap_err();
+        assert!(err.contains("--cell-deadline-ms"));
     }
 }

@@ -155,7 +155,7 @@ impl SecurityBenchmark {
             .iter()
             .filter_map(|(&v, s)| s.score().map(|sc| (v, sc)))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked
     }
 
@@ -207,6 +207,8 @@ mod tests {
             handled,
             notes: vec![],
             error: None,
+            outcome: crate::error::CellOutcome::Completed,
+            attempts: 1,
             wall_time_us: 0,
             hypercalls: 0,
         }

@@ -2,23 +2,27 @@
 //! monitoring — the machinery behind the paper's Tables II/III and
 //! Figs. 2/4.
 
+use crate::error::{panic_payload, CampaignError, CellId, CellOutcome};
 use crate::injector::ArbitraryAccessInjector;
 use crate::monitor::SecurityViolation;
 use crate::report::{TextTable, CHECK, SHIELD};
 use crate::scenario::{Mode, UseCase};
-use guestos::{World, WorldBuilder};
+use guestos::{BootError, World, WorldBuilder};
 use hvsim::XenVersion;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Builds a fresh world for one campaign cell: `(version,
 /// injector_enabled)` — the paper keeps everything else identical across
 /// runs ("the build and experimental environment are kept the same",
 /// §V-B). Shared across worker threads, hence `Arc + Send + Sync`.
-pub type WorldFactory = Arc<dyn Fn(XenVersion, bool) -> World + Send + Sync>;
+/// Boot failures are data: the campaign records them per cell instead of
+/// aborting, and retries transient ones under its retry budget.
+pub type WorldFactory = Arc<dyn Fn(XenVersion, bool) -> Result<World, BootError> + Send + Sync>;
 
 /// The default worker count: one per available hardware thread.
 pub fn default_jobs() -> usize {
@@ -28,13 +32,25 @@ pub fn default_jobs() -> usize {
 /// The world used throughout the evaluation: privileged dom0 (`xen3`)
 /// plus guests `xen2` and `guest03`; `guest03` is the compromised guest
 /// the exploits run in.
-pub fn standard_world(version: XenVersion, injector: bool) -> World {
+///
+/// # Errors
+///
+/// Propagates [`BootError`] from world construction.
+pub fn standard_world(version: XenVersion, injector: bool) -> Result<World, BootError> {
     WorldBuilder::new(version)
         .injector(injector)
         .guest("xen2", 64)
         .guest("guest03", 64)
         .build()
-        .expect("standard world boots")
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock. Cell bodies
+/// run under their own panic boundary, so a poisoned slot can only mean
+/// a panic in the tiny bookkeeping window around it — the data is a
+/// plain enum that is always in a consistent state, so recovery is safe
+/// and one crashed worker can never wedge result collection.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Name of the attacker guest in the standard world.
@@ -60,8 +76,16 @@ pub struct CellResult {
     pub handled: bool,
     /// The run's log.
     pub notes: Vec<String>,
-    /// Failure reason when the state was not induced.
-    pub error: Option<String>,
+    /// What went wrong, as the typed campaign taxonomy: a failed
+    /// injection attempt (assessment data), or a harness failure (boot,
+    /// monitor, crash, deadline).
+    pub error: Option<CampaignError>,
+    /// How far the cell got: completed, boot-failed, crashed, or
+    /// timed out.
+    pub outcome: CellOutcome,
+    /// World-boot attempts consumed by this cell (1 unless transient
+    /// boot failures were retried).
+    pub attempts: u32,
     /// Wall-clock time spent on this cell (world acquisition + run +
     /// monitoring), in microseconds. The only non-deterministic field;
     /// [`CampaignReport::normalized`] zeroes it for run-to-run
@@ -76,6 +100,15 @@ impl CellResult {
     /// `true` if at least one security violation was observed.
     pub fn violated(&self) -> bool {
         !self.violations.is_empty()
+    }
+
+    /// `true` when the harness (not the system under test) degraded on
+    /// this cell: it crashed, timed out, never booted, or lost part of
+    /// its observation. Failed injection attempts are *not* degradation
+    /// — they are the paper's fixed-version data points.
+    pub fn degraded(&self) -> bool {
+        self.outcome.is_degraded()
+            || self.error.as_ref().is_some_and(CampaignError::is_harness_failure)
     }
 }
 
@@ -133,6 +166,29 @@ impl CampaignReport {
     /// Total hypercalls executed across all cells.
     pub fn total_hypercalls(&self) -> u64 {
         self.cells.iter().map(|c| c.hypercalls).sum()
+    }
+
+    /// Cells that completed cleanly (including failed injection
+    /// attempts, which are assessment data).
+    pub fn completed_cells(&self) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter(|c| !c.degraded())
+    }
+
+    /// Cells on which the harness degraded: crashed, timed out, failed
+    /// to boot, or lost part of their observation.
+    pub fn degraded_cells(&self) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter(|c| c.degraded())
+    }
+
+    /// `true` when any cell degraded — the CLI maps this to exit code 2.
+    pub fn is_degraded(&self) -> bool {
+        self.cells.iter().any(CellResult::degraded)
+    }
+
+    /// `true` when any cell observed a security violation — the CLI
+    /// maps this to exit code 1 (when nothing degraded).
+    pub fn has_violations(&self) -> bool {
+        self.cells.iter().any(CellResult::violated)
     }
 
     /// Renders Table II: use case → abusive functionality.
@@ -267,13 +323,20 @@ impl CampaignReport {
 /// regenerator writes to `BENCH_campaign.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CampaignThroughput {
-    /// Cells the campaign ran.
+    /// Cells the campaign scheduled.
     pub cells: usize,
+    /// Cells that completed cleanly (throughput counts only these).
+    pub completed_cells: usize,
+    /// Cells on which the harness degraded (crashed / timed out /
+    /// boot-failed / partial observation).
+    pub degraded_cells: usize,
     /// Worker threads used.
     pub workers: usize,
     /// End-to-end elapsed wall-clock time, in microseconds.
     pub elapsed_us: u64,
-    /// Cells completed per second of elapsed time.
+    /// *Completed* cells per second of elapsed time — degraded cells do
+    /// not inflate throughput, so BENCH trajectories stay comparable
+    /// across clean and degraded runs.
     pub cells_per_sec: f64,
     /// Sum of per-cell wall-clock times (≈ CPU time across workers).
     pub total_cell_wall_time_us: u64,
@@ -287,15 +350,38 @@ impl CampaignThroughput {
     pub fn new(report: &CampaignReport, workers: usize, elapsed_us: u64) -> Self {
         let elapsed_us = elapsed_us.max(1);
         let cells = report.cells().len();
+        let degraded_cells = report.degraded_cells().count();
+        let completed_cells = cells - degraded_cells;
         Self {
             cells,
+            completed_cells,
+            degraded_cells,
             workers,
             elapsed_us,
-            cells_per_sec: cells as f64 * 1_000_000.0 / elapsed_us as f64,
+            cells_per_sec: completed_cells as f64 * 1_000_000.0 / elapsed_us as f64,
             total_cell_wall_time_us: report.total_wall_time_us(),
             total_hypercalls: report.total_hypercalls(),
         }
     }
+}
+
+/// Fault-containment and scheduling knobs shared by campaign runs.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignConfig {
+    /// Worker threads; `None` means one per hardware thread.
+    pub jobs: Option<usize>,
+    /// Boot each `(version, injector)` base world once and clone it per
+    /// cell (on by default via [`Campaign::new`]).
+    pub reuse_snapshots: bool,
+    /// Per-cell deadline enforced by a watchdog thread; overrunning
+    /// cells are reported [`CellOutcome::TimedOut`]. `None` disables the
+    /// watchdog. The watchdog is cooperative: it re-labels the slot and
+    /// lets the campaign finish, but a cell body that never returns
+    /// still holds its worker thread until it does.
+    pub cell_deadline: Option<Duration>,
+    /// Extra boot attempts for *transient* failures (`-ENOMEM`/`-EBUSY`)
+    /// per cell; `0` means fail on the first error.
+    pub retries: u32,
 }
 
 /// The campaign: use cases × versions × modes.
@@ -304,8 +390,7 @@ pub struct Campaign {
     versions: Vec<XenVersion>,
     modes: Vec<Mode>,
     factory: WorldFactory,
-    jobs: Option<usize>,
-    reuse_snapshots: bool,
+    config: CampaignConfig,
 }
 
 impl Campaign {
@@ -318,8 +403,7 @@ impl Campaign {
             versions: XenVersion::ALL.to_vec(),
             modes: vec![Mode::Exploit, Mode::Injection],
             factory: Arc::new(standard_world),
-            jobs: None,
-            reuse_snapshots: true,
+            config: CampaignConfig { reuse_snapshots: true, ..CampaignConfig::default() },
         }
     }
 
@@ -355,7 +439,7 @@ impl Campaign {
     /// means one worker per hardware thread.
     #[must_use]
     pub fn jobs(mut self, jobs: usize) -> Self {
-        self.jobs = (jobs > 0).then_some(jobs);
+        self.config.jobs = (jobs > 0).then_some(jobs);
         self
     }
 
@@ -367,7 +451,29 @@ impl Campaign {
     /// produce identical reports.
     #[must_use]
     pub fn reuse_snapshots(mut self, reuse: bool) -> Self {
-        self.reuse_snapshots = reuse;
+        self.config.reuse_snapshots = reuse;
+        self
+    }
+
+    /// Sets the per-cell deadline (see [`CampaignConfig::cell_deadline`]).
+    #[must_use]
+    pub fn cell_deadline(mut self, deadline: Duration) -> Self {
+        self.config.cell_deadline = Some(deadline);
+        self
+    }
+
+    /// Allows up to `retries` extra boot attempts per cell for transient
+    /// failures (see [`CampaignConfig::retries`]).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.config.retries = retries;
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    #[must_use]
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
         self
     }
 
@@ -376,8 +482,13 @@ impl Campaign {
     /// exactly like the paper's setup; each cell gets a pristine world
     /// (a snapshot clone, or a fresh boot when snapshot reuse is off),
     /// runs its scenario, then monitors for violations.
+    ///
+    /// The run is fail-soft: a panicking world, injector, or monitor, a
+    /// failed boot, or a deadline overrun degrades *that cell* (recorded
+    /// in its [`CellOutcome`] / [`CampaignError`]) and the rest of the
+    /// campaign completes.
     pub fn run(&self) -> CampaignReport {
-        self.run_with_jobs(self.jobs.unwrap_or_else(default_jobs))
+        self.run_with_jobs(self.config.jobs.unwrap_or_else(default_jobs))
     }
 
     /// Runs every cell on exactly `jobs` worker threads. Cell results
@@ -400,19 +511,24 @@ impl Campaign {
         }
 
         // Boot each required (version, injector_enabled) base world once;
-        // cells then start from clones instead of re-booting.
-        let mut snapshots: BTreeMap<(XenVersion, bool), World> = BTreeMap::new();
-        if self.reuse_snapshots {
+        // cells then start from clones instead of re-booting. A base
+        // world that fails to boot (or panics the factory) poisons only
+        // the cells that need it — the error is cloned into each.
+        let mut snapshots: BTreeMap<(XenVersion, bool), Result<World, CampaignError>> =
+            BTreeMap::new();
+        if self.config.reuse_snapshots {
             for &(_, version, mode) in &work {
-                snapshots
-                    .entry((version, mode == Mode::Injection))
-                    .or_insert_with(|| (self.factory)(version, mode == Mode::Injection));
+                snapshots.entry((version, mode == Mode::Injection)).or_insert_with(|| {
+                    boot_world(&self.factory, version, mode == Mode::Injection, self.config.retries)
+                        .0
+                });
             }
         }
 
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<CellResult>>> =
-            work.iter().map(|_| Mutex::new(None)).collect();
+        let completed = AtomicUsize::new(0);
+        let slots: Vec<Mutex<CellSlot>> =
+            work.iter().map(|_| Mutex::new(CellSlot::Pending)).collect();
         let workers = jobs.max(1).min(work.len());
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -421,49 +537,142 @@ impl Campaign {
                     let Some(&(uc, version, mode)) = work.get(i) else {
                         break;
                     };
+                    let started = Instant::now();
+                    *lock_recover(&slots[i]) = CellSlot::Running { started };
                     let snapshot = snapshots.get(&(version, mode == Mode::Injection));
-                    let cell = self.run_cell(&*self.use_cases[uc], version, mode, snapshot);
-                    *slots[i].lock().expect("result slot poisoned") = Some(cell);
+                    let cell =
+                        self.run_cell_contained(&*self.use_cases[uc], version, mode, snapshot);
+                    let mut slot = lock_recover(&slots[i]);
+                    // The watchdog may have abandoned this cell while it
+                    // ran; a finished-but-late result is also re-labelled
+                    // here so deadline enforcement does not depend on
+                    // watchdog scheduling.
+                    let overran = self
+                        .config
+                        .cell_deadline
+                        .is_some_and(|deadline| started.elapsed() > deadline);
+                    if !matches!(*slot, CellSlot::TimedOut) && !overran {
+                        *slot = CellSlot::Done(Box::new(cell));
+                    } else {
+                        *slot = CellSlot::TimedOut;
+                    }
+                    drop(slot);
+                    completed.fetch_add(1, Ordering::Release);
                 });
+            }
+            if let Some(deadline) = self.config.cell_deadline {
+                let slots = &slots;
+                let completed = &completed;
+                let total = work.len();
+                scope.spawn(move || watchdog(slots, completed, total, deadline));
             }
         });
 
         CampaignReport {
-            cells: slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("result slot poisoned")
-                        .expect("every work item produces a cell")
+            cells: work
+                .iter()
+                .zip(slots)
+                .map(|(&(uc, version, mode), slot)| {
+                    match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                        CellSlot::Done(cell) => *cell,
+                        CellSlot::TimedOut => {
+                            self.timed_out_cell(&*self.use_cases[uc], version, mode)
+                        }
+                        // Unreachable — cell bodies are contained, so a
+                        // worker always finalizes its slot — but a lost
+                        // slot degrades one cell, never the collection.
+                        CellSlot::Pending | CellSlot::Running { .. } => self.degraded_cell(
+                            &*self.use_cases[uc],
+                            version,
+                            mode,
+                            CampaignError::HarnessCrash {
+                                payload: "worker abandoned the cell".to_owned(),
+                            },
+                            1,
+                            0,
+                        ),
+                    }
                 })
                 .collect(),
         }
     }
 
-    /// Runs one cell on the calling thread.
-    fn run_cell(
+    /// Runs one cell on the calling thread with panic containment
+    /// around each phase: world acquisition, the scenario body, and
+    /// monitoring. Never panics; every failure becomes a typed cell.
+    fn run_cell_contained(
         &self,
         uc: &dyn UseCase,
         version: XenVersion,
         mode: Mode,
-        snapshot: Option<&World>,
+        snapshot: Option<&Result<World, CampaignError>>,
     ) -> CellResult {
         let start = Instant::now();
-        let mut world = match snapshot {
-            Some(base) => base.clone(),
-            None => (self.factory)(version, mode == Mode::Injection),
+        // Phase 1: world acquisition. `AssertUnwindSafe` is sound here:
+        // the base snapshot is only read through `&` during `Clone`, and
+        // a partially-cloned world is dropped inside the boundary — no
+        // broken state can leak to other cells.
+        let (world, attempts) = match snapshot {
+            Some(Ok(base)) => (
+                catch_unwind(AssertUnwindSafe(|| base.clone())).map_err(|p| {
+                    CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) }
+                }),
+                1,
+            ),
+            Some(Err(e)) => (Err(e.clone()), 1),
+            None => boot_world(&self.factory, version, mode == Mode::Injection, self.config.retries),
+        };
+        let mut world = match world {
+            Ok(world) => world,
+            Err(error) => {
+                let wall = start.elapsed().as_micros() as u64;
+                return self.degraded_cell(uc, version, mode, error, attempts, wall);
+            }
         };
         let base_hypercalls = world.hv().hypercall_count();
-        let attacker = world
-            .domain_by_name(ATTACKER_GUEST)
-            .or_else(|| world.domains().last().copied())
-            .expect("world has at least one domain");
-        let outcome = match mode {
+        let Some(attacker) =
+            world.domain_by_name(ATTACKER_GUEST).or_else(|| world.domains().last().copied())
+        else {
+            let error = CampaignError::Boot {
+                message: "world booted with no domains".to_owned(),
+                attempts,
+            };
+            let wall = start.elapsed().as_micros() as u64;
+            return self.degraded_cell(uc, version, mode, error, attempts, wall);
+        };
+
+        // Phase 2: the scenario body. The world is owned by this cell,
+        // so a panicking exploit/injector takes only its own clone down.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| match mode {
             Mode::Exploit => uc.run_exploit(&mut world, attacker),
             Mode::Injection => uc.run_injection(&mut world, attacker, &ArbitraryAccessInjector),
+        })) {
+            Ok(outcome) => outcome,
+            Err(p) => {
+                let error = CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) };
+                let wall = start.elapsed().as_micros() as u64;
+                return self.degraded_cell(uc, version, mode, error, attempts, wall);
+            }
         };
-        let monitor = uc.monitor(&world, attacker);
-        let observation = monitor.observe(&world);
+
+        // Phase 3: monitoring, with per-detector containment — one
+        // panicking detector costs its own observations, not the cell's.
+        let (observation, detector_failures) =
+            match catch_unwind(AssertUnwindSafe(|| uc.monitor(&world, attacker).observe_contained(&world)))
+            {
+                Ok(observed) => observed,
+                Err(p) => {
+                    let error = CampaignError::Monitor { message: panic_payload(p.as_ref()) };
+                    let wall = start.elapsed().as_micros() as u64;
+                    return self.degraded_cell(uc, version, mode, error, attempts, wall);
+                }
+            };
+        let error = if detector_failures.is_empty() {
+            outcome.error.map(|message| CampaignError::Injection { message })
+        } else {
+            Some(CampaignError::Monitor { message: detector_failures.join("; ") })
+        };
+
         let handled = outcome.erroneous_state && observation.is_clean();
         CellResult {
             use_case: uc.name().to_owned(),
@@ -474,11 +683,141 @@ impl Campaign {
             violations: observation.violations,
             handled,
             notes: outcome.notes,
-            error: outcome.error,
+            error,
+            outcome: CellOutcome::Completed,
+            attempts,
             wall_time_us: 0, // patched below, after the clock stops
             hypercalls: world.hv().hypercall_count().saturating_sub(base_hypercalls),
         }
         .with_wall_time(start.elapsed().as_micros() as u64)
+    }
+
+    /// A cell record for a harness failure (boot / crash / monitor).
+    fn degraded_cell(
+        &self,
+        uc: &dyn UseCase,
+        version: XenVersion,
+        mode: Mode,
+        error: CampaignError,
+        attempts: u32,
+        wall_time_us: u64,
+    ) -> CellResult {
+        let cell_id =
+            || CellId { use_case: uc.name().to_owned(), version, mode };
+        let outcome = match &error {
+            CampaignError::Boot { .. } => CellOutcome::BootFailed,
+            CampaignError::Deadline { deadline_us } => {
+                CellOutcome::TimedOut { deadline_us: *deadline_us }
+            }
+            CampaignError::HarnessCrash { payload } => {
+                CellOutcome::Crashed { payload: payload.clone(), cell: cell_id() }
+            }
+            CampaignError::Monitor { message } => {
+                CellOutcome::Crashed { payload: message.clone(), cell: cell_id() }
+            }
+            CampaignError::Injection { .. } => CellOutcome::Completed,
+        };
+        CellResult {
+            use_case: uc.name().to_owned(),
+            abusive_functionality: uc.intrusion_model().abusive_functionality.label().to_owned(),
+            version,
+            mode,
+            erroneous_state: false,
+            violations: Vec::new(),
+            handled: false,
+            notes: Vec::new(),
+            error: Some(error),
+            outcome,
+            attempts,
+            wall_time_us,
+            hypercalls: 0,
+        }
+    }
+
+    /// A cell record for a watchdog-abandoned cell.
+    fn timed_out_cell(&self, uc: &dyn UseCase, version: XenVersion, mode: Mode) -> CellResult {
+        let deadline_us =
+            self.config.cell_deadline.map_or(0, |d| d.as_micros() as u64);
+        let mut cell = self.degraded_cell(
+            uc,
+            version,
+            mode,
+            CampaignError::Deadline { deadline_us },
+            1,
+            deadline_us,
+        );
+        cell.outcome = CellOutcome::TimedOut { deadline_us };
+        cell
+    }
+}
+
+/// One result slot's lifecycle, watched by the deadline watchdog.
+enum CellSlot {
+    /// Not picked up by a worker yet.
+    Pending,
+    /// A worker entered the cell body at `started`.
+    Running { started: Instant },
+    /// The watchdog (or the worker's own post-check) abandoned the cell.
+    TimedOut,
+    /// The cell finished in time.
+    Done(Box<CellResult>),
+}
+
+/// Boots one world through the factory with panic containment and the
+/// bounded retry policy: transient failures (`BootError::is_transient`)
+/// are retried up to `retries` extra times; deterministic failures and
+/// factory panics fail immediately. Returns the attempts consumed.
+fn boot_world(
+    factory: &WorldFactory,
+    version: XenVersion,
+    injector: bool,
+    retries: u32,
+) -> (Result<World, CampaignError>, u32) {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| factory(version, injector))) {
+            Ok(Ok(world)) => return (Ok(world), attempts),
+            Ok(Err(boot)) if boot.is_transient() && attempts <= retries => {}
+            Ok(Err(boot)) => {
+                return (
+                    Err(CampaignError::Boot { message: boot.to_string(), attempts }),
+                    attempts,
+                )
+            }
+            Err(p) => {
+                return (
+                    Err(CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) }),
+                    attempts,
+                )
+            }
+        }
+    }
+}
+
+/// The deadline watchdog: polls running slots and re-labels any that
+/// overran the deadline `TimedOut`, so result collection can report them
+/// without waiting on the stuck worker. Cooperative by design —
+/// `std::thread::scope` still joins every worker, so a cell body that
+/// *never* returns holds campaign exit; the watchdog's job is to keep
+/// the *report* complete and correctly labelled.
+fn watchdog(
+    slots: &[Mutex<CellSlot>],
+    completed: &AtomicUsize,
+    total: usize,
+    deadline: Duration,
+) {
+    let poll = (deadline / 10).max(Duration::from_millis(1));
+    while completed.load(Ordering::Acquire) < total {
+        for slot in slots {
+            let mut slot = lock_recover(slot);
+            if let CellSlot::Running { started } = *slot {
+                if started.elapsed() > deadline {
+                    *slot = CellSlot::TimedOut;
+                }
+            }
+        }
+        std::thread::sleep(poll);
     }
 }
 
@@ -583,7 +922,12 @@ mod tests {
         assert!(e46.violated());
         let e48 = report.cell("synthetic-crash", XenVersion::V4_8, Mode::Exploit).unwrap();
         assert!(!e48.erroneous_state);
-        assert_eq!(e48.error.as_deref(), Some("-EFAULT (bad address)"));
+        assert_eq!(
+            e48.error,
+            Some(CampaignError::Injection { message: "-EFAULT (bad address)".into() })
+        );
+        assert_eq!(e48.outcome, CellOutcome::Completed);
+        assert!(!e48.degraded(), "a failed exploit attempt is data, not degradation");
         // Injection works everywhere and the crash follows everywhere.
         for v in XenVersion::ALL {
             let c = report.cell("synthetic-crash", v, Mode::Injection).unwrap();
@@ -615,8 +959,8 @@ mod tests {
     fn worker_count_and_snapshot_reuse_do_not_change_the_report() {
         let campaign = Campaign::new().with_use_case(Box::new(CrashCase));
         let serial = campaign.run_with_jobs(1).normalized().to_json().unwrap();
-        let parallel = campaign.run_with_jobs(4).normalized().to_json().unwrap();
-        assert_eq!(serial, parallel, "jobs=1 and jobs=4 reports must be byte-identical");
+        let parallel = campaign.run_with_jobs(8).normalized().to_json().unwrap();
+        assert_eq!(serial, parallel, "jobs=1 and jobs=8 reports must be byte-identical");
         let booted = Campaign::new()
             .with_use_case(Box::new(CrashCase))
             .reuse_snapshots(false)
@@ -640,7 +984,9 @@ mod tests {
         assert!(report.normalized().cells().iter().all(|c| c.wall_time_us == 0));
         let t = CampaignThroughput::new(&report, 2, 1_000_000);
         assert_eq!(t.cells, report.cells().len());
-        assert!((t.cells_per_sec - t.cells as f64).abs() < 1e-9);
+        assert_eq!(t.completed_cells, report.cells().len(), "clean run: all cells complete");
+        assert_eq!(t.degraded_cells, 0);
+        assert!((t.cells_per_sec - t.completed_cells as f64).abs() < 1e-9);
     }
 
     #[test]
@@ -652,5 +998,219 @@ mod tests {
             .run();
         assert_eq!(report.cells().len(), 1);
         assert_eq!(report.cells()[0].version, XenVersion::V4_13);
+    }
+
+    /// A factory that panics for one specific `(version, injector)`
+    /// combination and boots the standard world everywhere else.
+    fn panicking_factory(bad: (XenVersion, bool)) -> WorldFactory {
+        Arc::new(move |version, injector| {
+            assert!(
+                (version, injector) != bad,
+                "factory panic for ({version}, injector={injector})"
+            );
+            standard_world(version, injector)
+        })
+    }
+
+    #[test]
+    fn panicking_factory_cell_is_contained() {
+        for reuse in [true, false] {
+            let report = Campaign::new()
+                .with_use_case(Box::new(CrashCase))
+                .world_factory(panicking_factory((XenVersion::V4_8, true)))
+                .reuse_snapshots(reuse)
+                .run();
+            assert_eq!(report.cells().len(), 6, "the campaign still completes (reuse={reuse})");
+            let bad = report.cell("synthetic-crash", XenVersion::V4_8, Mode::Injection).unwrap();
+            assert!(bad.degraded());
+            assert!(
+                matches!(&bad.outcome, CellOutcome::Crashed { payload, cell }
+                    if payload.contains("factory panic") && cell.version == XenVersion::V4_8),
+                "got {:?}",
+                bad.outcome
+            );
+            assert!(matches!(&bad.error, Some(CampaignError::HarnessCrash { .. })));
+            // Every other cell is untouched.
+            for cell in report.cells() {
+                if cell.version == XenVersion::V4_8 && cell.mode == Mode::Injection {
+                    continue;
+                }
+                assert!(!cell.degraded(), "{} {} {} degraded", cell.use_case, cell.version, cell.mode);
+            }
+            assert!(report.is_degraded());
+            assert_eq!(report.degraded_cells().count(), 1);
+        }
+    }
+
+    #[test]
+    fn contained_crashes_are_deterministic_across_worker_counts() {
+        let campaign = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .world_factory(panicking_factory((XenVersion::V4_6, false)));
+        let serial = campaign.run_with_jobs(1).normalized().to_json().unwrap();
+        let parallel = campaign.run_with_jobs(8).normalized().to_json().unwrap();
+        assert_eq!(serial, parallel, "degraded cells must serialize identically at any -j");
+    }
+
+    /// A use case whose injection path sleeps past any reasonable
+    /// deadline; the exploit path returns immediately.
+    struct SleepyCase;
+
+    impl UseCase for SleepyCase {
+        fn name(&self) -> &'static str {
+            "synthetic-sleep"
+        }
+
+        fn intrusion_model(&self) -> IntrusionModel {
+            IntrusionModel::guest_hypercall_memory(
+                "IM-sleep",
+                AbusiveFunctionality::WriteUnauthorizedArbitraryMemory,
+                &["XSA-212"],
+            )
+        }
+
+        fn run_exploit(&self, _world: &mut World, _attacker: DomainId) -> ScenarioOutcome {
+            ScenarioOutcome::failed("not applicable")
+        }
+
+        fn run_injection(
+            &self,
+            _world: &mut World,
+            _attacker: DomainId,
+            _injector: &dyn Injector,
+        ) -> ScenarioOutcome {
+            std::thread::sleep(Duration::from_millis(300));
+            ScenarioOutcome::failed("finished late")
+        }
+    }
+
+    #[test]
+    fn deadline_overrun_is_reported_timed_out() {
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .with_use_case(Box::new(SleepyCase))
+            .versions(&[XenVersion::V4_13])
+            .modes(&[Mode::Injection])
+            .cell_deadline(Duration::from_millis(40))
+            .run();
+        assert_eq!(report.cells().len(), 2, "the campaign completes past the stuck cell");
+        let slow = report.cell("synthetic-sleep", XenVersion::V4_13, Mode::Injection).unwrap();
+        assert!(matches!(slow.outcome, CellOutcome::TimedOut { deadline_us: 40_000 }));
+        assert_eq!(slow.error, Some(CampaignError::Deadline { deadline_us: 40_000 }));
+        assert!(slow.degraded());
+        let fast = report.cell("synthetic-crash", XenVersion::V4_13, Mode::Injection).unwrap();
+        assert!(!fast.degraded(), "cells inside the deadline are unaffected");
+        assert!(report.is_degraded());
+    }
+
+    #[test]
+    fn transient_boot_failures_retry_then_succeed() {
+        use std::collections::BTreeMap as Map;
+        // Each (version, injector) key fails transiently twice before
+        // booting, so retry accounting is schedule-independent.
+        let counters: Mutex<Map<(XenVersion, bool), u32>> = Mutex::new(Map::new());
+        let factory: WorldFactory = Arc::new(move |version, injector| {
+            let mut counters = counters.lock().unwrap();
+            let failures = counters.entry((version, injector)).or_insert(0);
+            if *failures < 2 {
+                *failures += 1;
+                return Err(guestos::BootError::transient("create dom0", "no frames left"));
+            }
+            drop(counters);
+            standard_world(version, injector)
+        });
+
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .world_factory(factory.clone())
+            .reuse_snapshots(false)
+            .versions(&[XenVersion::V4_13])
+            .modes(&[Mode::Injection])
+            .retries(2)
+            .run();
+        let cell = report.cell("synthetic-crash", XenVersion::V4_13, Mode::Injection).unwrap();
+        assert_eq!(cell.attempts, 3, "two transient failures + one success");
+        assert_eq!(cell.outcome, CellOutcome::Completed);
+        assert!(!cell.degraded());
+        assert!(cell.erroneous_state, "the recovered cell carries real assessment data");
+
+        // Without a retry budget the same failure degrades the cell.
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .world_factory(Arc::new(|_, _| {
+                Err(guestos::BootError::transient("create dom0", "no frames left"))
+            }))
+            .reuse_snapshots(false)
+            .versions(&[XenVersion::V4_13])
+            .modes(&[Mode::Injection])
+            .run();
+        let cell = report.cells().first().unwrap();
+        assert_eq!(cell.outcome, CellOutcome::BootFailed);
+        assert!(matches!(
+            &cell.error,
+            Some(CampaignError::Boot { attempts: 1, message }) if message.contains("no frames left")
+        ));
+        assert!(cell.degraded());
+    }
+
+    /// A detector that always panics, for monitor containment tests.
+    struct ExplodingDetector;
+
+    impl crate::monitor::Detector for ExplodingDetector {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+
+        fn observe(&self, _world: &World) -> Vec<SecurityViolation> {
+            panic!("detector exploded")
+        }
+    }
+
+    /// CrashCase with a monitor whose first detector panics.
+    struct BadMonitorCase;
+
+    impl UseCase for BadMonitorCase {
+        fn name(&self) -> &'static str {
+            "synthetic-bad-monitor"
+        }
+
+        fn intrusion_model(&self) -> IntrusionModel {
+            CrashCase.intrusion_model()
+        }
+
+        fn run_exploit(&self, world: &mut World, attacker: DomainId) -> ScenarioOutcome {
+            CrashCase.run_exploit(world, attacker)
+        }
+
+        fn run_injection(
+            &self,
+            world: &mut World,
+            attacker: DomainId,
+            injector: &dyn Injector,
+        ) -> ScenarioOutcome {
+            CrashCase.run_injection(world, attacker, injector)
+        }
+
+        fn monitor(&self, _world: &World, _attacker: DomainId) -> crate::monitor::Monitor {
+            crate::monitor::Monitor::standard().with(Box::new(ExplodingDetector))
+        }
+    }
+
+    #[test]
+    fn panicking_detector_degrades_but_keeps_other_observations() {
+        let report = Campaign::new()
+            .with_use_case(Box::new(BadMonitorCase))
+            .versions(&[XenVersion::V4_6])
+            .modes(&[Mode::Injection])
+            .run();
+        let cell = report.cells().first().unwrap();
+        assert!(
+            matches!(&cell.error, Some(CampaignError::Monitor { message })
+                if message.contains("exploding") && message.contains("detector exploded")),
+            "got {:?}",
+            cell.error
+        );
+        assert!(cell.degraded(), "a partial observation is harness degradation");
+        assert!(cell.violated(), "the surviving detectors still observed the crash");
     }
 }

@@ -70,10 +70,16 @@
 //! # }
 //! ```
 
+// The campaign engine must be fail-soft: library paths return the
+// typed taxonomy in [`error`] instead of panicking. Tests keep their
+// unwraps; the few deliberate exceptions are annotated in place.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod avi;
 pub mod benchmark;
 pub mod campaign;
 pub mod erroneous_state;
+pub mod error;
 pub mod injector;
 pub mod model;
 pub mod monitor;
@@ -85,8 +91,10 @@ pub mod taxonomy;
 pub use avi::{ThreatChain, ThreatLink, ThreatStage};
 pub use benchmark::{SecurityAttribute, SecurityBenchmark, VersionScore};
 pub use campaign::{
-    default_jobs, Campaign, CampaignReport, CampaignThroughput, CellResult, WorldFactory,
+    default_jobs, Campaign, CampaignConfig, CampaignReport, CampaignThroughput, CellResult,
+    WorldFactory,
 };
+pub use error::{panic_payload, CampaignError, CellId, CellOutcome};
 pub use erroneous_state::{ErroneousStateSpec, StateAudit};
 pub use injector::{ArbitraryAccessInjector, DebugStubInjector, InjectError, InjectionEvidence, Injector};
 pub use model::{AttackInterface, IntrusionModel, StateTrace, TargetComponent, TriggeringSource};

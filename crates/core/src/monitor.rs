@@ -395,6 +395,31 @@ impl Monitor {
         }
         Observation { violations }
     }
+
+    /// Runs every detector with per-detector panic containment: a
+    /// panicking detector loses its own observations but not the rest
+    /// of the monitor's. Returns the observation plus one
+    /// `"name: payload"` record per failed detector — the campaign
+    /// surfaces those as [`crate::error::CampaignError::Monitor`].
+    ///
+    /// `AssertUnwindSafe` is sound: detectors only read `&World`, and a
+    /// world is plain owned data that cannot be left half-mutated by a
+    /// `&`-borrow.
+    pub fn observe_contained(&self, world: &World) -> (Observation, Vec<String>) {
+        let mut violations = Vec::new();
+        let mut failures = Vec::new();
+        for d in &self.detectors {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.observe(world))) {
+                Ok(observed) => violations.extend(observed),
+                Err(p) => failures.push(format!(
+                    "{}: {}",
+                    d.name(),
+                    crate::error::panic_payload(p.as_ref())
+                )),
+            }
+        }
+        (Observation { violations }, failures)
+    }
 }
 
 #[cfg(test)]

@@ -7,20 +7,22 @@
 //! component made concrete), injects each into a fresh world, exercises
 //! the system, and classifies the outcome.
 
-use crate::campaign::default_jobs;
+use crate::campaign::{default_jobs, lock_recover};
 use crate::erroneous_state::ErroneousStateSpec;
+use crate::error::{panic_payload, CampaignError};
 use crate::injector::{ArbitraryAccessInjector, Injector};
 use crate::monitor::Monitor;
 use crate::report::TextTable;
-use guestos::World;
+use guestos::{BootError, World};
 use hvsim::IDT_ENTRIES;
 use hvsim_mem::{DomainId, VirtAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Where randomized injections land — the concrete footprint of an
@@ -73,7 +75,13 @@ impl TargetRegion {
                     .domain(attacker)
                     .map(|d| d.p2m_iter().map(|(_, m)| m).collect())
                     .unwrap_or_default();
-                let mfn = frames[rng.gen_range(0..frames.len())];
+                // A domain with an empty P2M degrades to frame 0 (the
+                // injector will then report the failure) instead of
+                // panicking the trial.
+                let mfn = frames
+                    .get(rng.gen_range(0..frames.len().max(1)))
+                    .copied()
+                    .unwrap_or(hvsim_mem::Mfn::new(0));
                 let offset = rng.gen_range(0..4096 - 8);
                 ErroneousStateSpec::WriteFrame {
                     mfn,
@@ -112,6 +120,10 @@ pub struct RandomizedOutcome {
     /// Hypercalls executed during this trial (deterministic for a given
     /// seed).
     pub hypercalls: u64,
+    /// Set when the harness degraded on this trial (the trial body kept
+    /// panicking past the retry budget); the other fields then carry no
+    /// assessment data.
+    pub error: Option<CampaignError>,
 }
 
 /// Equality ignores `wall_time_us`: timing is the only
@@ -124,6 +136,7 @@ impl PartialEq for RandomizedOutcome {
             && self.crashed == other.crashed
             && self.violations == other.violations
             && self.hypercalls == other.hypercalls
+            && self.error == other.error
     }
 }
 
@@ -142,17 +155,24 @@ pub struct RandomizedSummary {
     pub violated: usize,
     /// States injected but fully handled.
     pub handled: usize,
+    /// Trials on which the harness degraded (contained panics past the
+    /// retry budget). Hypervisor crashes are assessment data, never
+    /// degradation.
+    pub degraded: usize,
 }
 
 impl fmt::Display for RandomizedSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = TextTable::new(["total", "injected", "crashes", "violated", "handled"]);
+        let mut t = TextTable::new([
+            "total", "injected", "crashes", "violated", "handled", "degraded",
+        ]);
         t.row([
             self.total.to_string(),
             self.injected.to_string(),
             self.crashes.to_string(),
             self.violated.to_string(),
             self.handled.to_string(),
+            self.degraded.to_string(),
         ]);
         write!(f, "{t}")
     }
@@ -168,17 +188,19 @@ pub struct RandomizedCampaign {
     /// RNG seed (campaigns are reproducible).
     pub seed: u64,
     jobs: Option<usize>,
+    retries: u32,
 }
 
 impl RandomizedCampaign {
     /// A campaign of `trials` reproducible trials, run on one worker per
-    /// hardware thread.
+    /// hardware thread with no retries.
     pub fn new(region: TargetRegion, trials: usize, seed: u64) -> Self {
         Self {
             region,
             trials,
             seed,
             jobs: None,
+            retries: 0,
         }
     }
 
@@ -190,31 +212,53 @@ impl RandomizedCampaign {
         self
     }
 
+    /// Allows up to `retries` extra attempts per trial (after a
+    /// contained panic) and per base-world boot (after a transient
+    /// failure). Retried trial attempt `a` reseeds deterministically as
+    /// `seed ^ t ^ (a << 32)`, so retried campaigns stay reproducible.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
     /// Runs the campaign with the configured worker count.
     ///
     /// The factory is called once; every trial starts from a clone of
     /// that base world (booting is deterministic, so a clone is
     /// indistinguishable from a fresh boot). Trial `t` draws from its
-    /// own generator seeded `seed ^ t`, so the sampled inputs — and
+    /// own generator seeded `seed ^ t` (attempt `a` of a retried trial
+    /// reseeds as `seed ^ t ^ (a << 32)`), so the sampled inputs — and
     /// therefore the outcomes and summary — are identical for every
     /// worker count and every scheduling order.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Boot`] / [`CampaignError::HarnessCrash`] when no
+    /// base world could be produced at all (transient boot failures are
+    /// retried up to the retry budget). Per-trial failures are contained
+    /// and reported in the outcomes/summary instead.
     pub fn run(
         &self,
-        factory: impl Fn() -> (World, DomainId) + Send + Sync,
-    ) -> (RandomizedSummary, Vec<RandomizedOutcome>) {
+        factory: impl Fn() -> Result<(World, DomainId), BootError> + Send + Sync,
+    ) -> Result<(RandomizedSummary, Vec<RandomizedOutcome>), CampaignError> {
         self.run_with_jobs(factory, self.jobs.unwrap_or_else(default_jobs))
     }
 
     /// Runs the campaign on exactly `jobs` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// See [`RandomizedCampaign::run`].
     pub fn run_with_jobs(
         &self,
-        factory: impl Fn() -> (World, DomainId) + Send + Sync,
+        factory: impl Fn() -> Result<(World, DomainId), BootError> + Send + Sync,
         jobs: usize,
-    ) -> (RandomizedSummary, Vec<RandomizedOutcome>) {
+    ) -> Result<(RandomizedSummary, Vec<RandomizedOutcome>), CampaignError> {
         if self.trials == 0 {
-            return (RandomizedSummary::default(), Vec::new());
+            return Ok((RandomizedSummary::default(), Vec::new()));
         }
-        let (base_world, attacker) = factory();
+        let (base_world, attacker) = self.boot_base(&factory)?;
 
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<TrialResult>>> =
@@ -227,8 +271,8 @@ impl RandomizedCampaign {
                     if t >= self.trials {
                         break;
                     }
-                    let trial = self.run_trial(&base_world, attacker, t as u64);
-                    *slots[t].lock().expect("trial slot poisoned") = Some(trial);
+                    let trial = self.run_trial_contained(&base_world, attacker, t as u64);
+                    *lock_recover(&slots[t]) = Some(trial);
                 });
             }
         });
@@ -243,8 +287,23 @@ impl RandomizedCampaign {
         for slot in slots {
             let trial = slot
                 .into_inner()
-                .expect("trial slot poisoned")
-                .expect("every trial produces a result");
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| TrialResult {
+                    // Unreachable — trial bodies are contained — but a
+                    // lost slot degrades one trial, never the campaign.
+                    outcome: degraded_outcome(
+                        self.region,
+                        CampaignError::HarnessCrash {
+                            payload: "worker abandoned the trial".to_owned(),
+                        },
+                    ),
+                    non_crash_violations: 0,
+                });
+            if trial.outcome.error.is_some() {
+                summary.degraded += 1;
+                outcomes.push(trial.outcome);
+                continue;
+            }
             if trial.outcome.injected {
                 summary.injected += 1;
             }
@@ -257,14 +316,72 @@ impl RandomizedCampaign {
             }
             outcomes.push(trial.outcome);
         }
-        (summary, outcomes)
+        Ok((summary, outcomes))
     }
 
-    /// Runs trial `t`: clone the base world, sample from the trial's own
-    /// generator, inject, shake, monitor.
-    fn run_trial(&self, base_world: &World, attacker: DomainId, t: u64) -> TrialResult {
+    /// Boots the shared base world with panic containment and the
+    /// transient-failure retry budget.
+    fn boot_base(
+        &self,
+        factory: &(impl Fn() -> Result<(World, DomainId), BootError> + Send + Sync),
+    ) -> Result<(World, DomainId), CampaignError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(factory)) {
+                Ok(Ok(base)) => return Ok(base),
+                Ok(Err(boot)) if boot.is_transient() && attempts <= self.retries => {}
+                Ok(Err(boot)) => {
+                    return Err(CampaignError::Boot { message: boot.to_string(), attempts })
+                }
+                Err(p) => {
+                    return Err(CampaignError::HarnessCrash {
+                        payload: panic_payload(p.as_ref()),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Runs trial `t` under a panic boundary, retrying contained panics
+    /// with a deterministic reseed up to the retry budget; a trial that
+    /// keeps panicking becomes a degraded outcome instead of taking the
+    /// worker down. `AssertUnwindSafe` is sound: each attempt works on
+    /// its own clone of the base world, dropped inside the boundary.
+    fn run_trial_contained(&self, base_world: &World, attacker: DomainId, t: u64) -> TrialResult {
+        let mut attempt = 0u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| {
+                self.run_trial(base_world, attacker, t, attempt)
+            })) {
+                Ok(trial) => return trial,
+                Err(_) if attempt < self.retries => attempt += 1,
+                Err(p) => {
+                    return TrialResult {
+                        outcome: degraded_outcome(
+                            self.region,
+                            CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) },
+                        ),
+                        non_crash_violations: 0,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs attempt `attempt` of trial `t`: clone the base world, sample
+    /// from the attempt's own generator, inject, shake, monitor.
+    fn run_trial(
+        &self,
+        base_world: &World,
+        attacker: DomainId,
+        t: u64,
+        attempt: u32,
+    ) -> TrialResult {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ t);
+        // Attempt 0 reproduces the historical `seed ^ t` stream exactly;
+        // retries draw fresh-but-deterministic inputs.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ t ^ (u64::from(attempt) << 32));
         let mut world = base_world.clone();
         let base_hypercalls = world.hv().hypercall_count();
         let spec = self.region.sample(&world, attacker, &mut rng);
@@ -287,6 +404,7 @@ impl RandomizedCampaign {
                 violations: observation.violations.len(),
                 wall_time_us: start.elapsed().as_micros() as u64,
                 hypercalls: world.hv().hypercall_count().saturating_sub(base_hypercalls),
+                error: None,
             },
             non_crash_violations,
         }
@@ -298,6 +416,19 @@ impl RandomizedCampaign {
 struct TrialResult {
     outcome: RandomizedOutcome,
     non_crash_violations: usize,
+}
+
+/// A placeholder outcome for a trial the harness could not complete.
+fn degraded_outcome(region: TargetRegion, error: CampaignError) -> RandomizedOutcome {
+    RandomizedOutcome {
+        spec: format!("(degraded) ({})", region.label()),
+        injected: false,
+        crashed: false,
+        violations: 0,
+        wall_time_us: 0,
+        hypercalls: 0,
+        error: Some(error),
+    }
 }
 
 /// Post-injection activation: exercise the system so latent erroneous
@@ -324,18 +455,18 @@ mod tests {
     use crate::campaign::standard_world;
     use hvsim::XenVersion;
 
-    fn factory(version: XenVersion) -> impl Fn() -> (World, DomainId) {
+    fn factory(version: XenVersion) -> impl Fn() -> Result<(World, DomainId), BootError> {
         move || {
-            let w = standard_world(version, true);
+            let w = standard_world(version, true)?;
             let attacker = w.domain_by_name("guest03").unwrap();
-            (w, attacker)
+            Ok((w, attacker))
         }
     }
 
     #[test]
     fn idt_campaign_finds_crashes() {
         let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 12, 7);
-        let (summary, outcomes) = campaign.run(factory(XenVersion::V4_8));
+        let (summary, outcomes) = campaign.run(factory(XenVersion::V4_8)).unwrap();
         assert_eq!(summary.total, 12);
         assert_eq!(outcomes.len(), 12);
         assert!(summary.injected > 0);
@@ -353,8 +484,8 @@ mod tests {
     #[test]
     fn campaign_is_reproducible() {
         let campaign = RandomizedCampaign::new(TargetRegion::DomainFrames, 6, 42);
-        let (s1, o1) = campaign.run(factory(XenVersion::V4_13));
-        let (s2, o2) = campaign.run(factory(XenVersion::V4_13));
+        let (s1, o1) = campaign.run(factory(XenVersion::V4_13)).unwrap();
+        let (s2, o2) = campaign.run(factory(XenVersion::V4_13)).unwrap();
         assert_eq!(s1, s2);
         assert_eq!(o1, o2);
     }
@@ -362,11 +493,11 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_summary_or_outcomes() {
         let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 10, 99);
-        let (s1, o1) = campaign.run_with_jobs(factory(XenVersion::V4_8), 1);
-        let (s4, o4) = campaign.run_with_jobs(factory(XenVersion::V4_8), 4);
+        let (s1, o1) = campaign.run_with_jobs(factory(XenVersion::V4_8), 1).unwrap();
+        let (s4, o4) = campaign.run_with_jobs(factory(XenVersion::V4_8), 4).unwrap();
         assert_eq!(s1, s4, "jobs=1 and jobs=4 summaries must match");
         assert_eq!(o1, o4, "jobs=1 and jobs=4 outcomes must match, in order");
-        let (s, o) = campaign.with_jobs(4).run(factory(XenVersion::V4_8));
+        let (s, o) = campaign.with_jobs(4).run(factory(XenVersion::V4_8)).unwrap();
         assert_eq!(s, s1);
         assert_eq!(o, o1);
     }
@@ -374,7 +505,7 @@ mod tests {
     #[test]
     fn page_table_region_injections_verify() {
         let campaign = RandomizedCampaign::new(TargetRegion::DomainPageTables, 4, 3);
-        let (summary, _) = campaign.run(factory(XenVersion::V4_8));
+        let (summary, _) = campaign.run(factory(XenVersion::V4_8)).unwrap();
         assert_eq!(summary.injected, 4, "physical PT writes always land");
     }
 
@@ -386,9 +517,63 @@ mod tests {
             crashes: 2,
             violated: 1,
             handled: 6,
+            degraded: 0,
         };
         let rendered = s.to_string();
         assert!(rendered.contains("crashes"));
+        assert!(rendered.contains("degraded"));
         assert!(rendered.contains("10"));
+    }
+
+    #[test]
+    fn panicking_factory_degrades_to_a_typed_error() {
+        let campaign = RandomizedCampaign::new(TargetRegion::SharedL3, 3, 1);
+        let err = campaign
+            .run(|| -> Result<(World, DomainId), BootError> { panic!("factory exploded") })
+            .unwrap_err();
+        assert_eq!(err, CampaignError::HarnessCrash { payload: "factory exploded".into() });
+    }
+
+    #[test]
+    fn transient_boot_failures_are_retried_then_succeed() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let failures = AtomicU32::new(2);
+        let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 4, 5).retries(2);
+        let (summary, outcomes) = campaign
+            .run(|| {
+                if failures.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err(BootError::transient("create dom0", "no frames left"));
+                }
+                factory(XenVersion::V4_8)()
+            })
+            .unwrap();
+        assert_eq!(summary.total, 4);
+        assert_eq!(summary.degraded, 0);
+        // The retried boot must not perturb the trial streams.
+        let (clean, clean_outcomes) =
+            RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 4, 5)
+                .run(factory(XenVersion::V4_8))
+                .unwrap();
+        assert_eq!(summary, clean);
+        assert_eq!(outcomes, clean_outcomes);
+    }
+
+    #[test]
+    fn non_transient_boot_failure_is_not_retried() {
+        let campaign = RandomizedCampaign::new(TargetRegion::SharedL3, 2, 1).retries(5);
+        let err = campaign
+            .run(|| -> Result<(World, DomainId), BootError> {
+                Err(BootError::new("create dom0", "deterministic failure"))
+            })
+            .unwrap_err();
+        match err {
+            CampaignError::Boot { attempts, message } => {
+                assert_eq!(attempts, 1, "non-transient failures fail fast");
+                assert!(message.contains("deterministic failure"));
+            }
+            other => panic!("expected a boot error, got {other:?}"),
+        }
     }
 }

@@ -66,6 +66,84 @@ impl From<VfsError> for WorldError {
     }
 }
 
+/// A world failed to boot.
+///
+/// Boot failures are *harness*-level errors, not assessment results: a
+/// cell whose world never came up produced no erroneous state to judge.
+/// The error carries the boot stage that failed, a human-readable
+/// message, and whether the failure is transient (resource exhaustion a
+/// retry may clear) — the campaign's bounded retry policy only retries
+/// transient failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BootError {
+    stage: &'static str,
+    message: String,
+    transient: bool,
+    source: Option<WorldError>,
+}
+
+impl BootError {
+    /// A non-transient boot failure (used by test factories and
+    /// non-hypervisor boot stages).
+    pub fn new(stage: &'static str, message: impl Into<String>) -> Self {
+        Self { stage, message: message.into(), transient: false, source: None }
+    }
+
+    /// A transient boot failure: the campaign retry policy may re-run
+    /// the factory for these.
+    pub fn transient(stage: &'static str, message: impl Into<String>) -> Self {
+        Self { stage, message: message.into(), transient: true, source: None }
+    }
+
+    /// Wraps an underlying world error, deriving transience from the
+    /// hypervisor errno (`-ENOMEM`/`-EBUSY` are retryable).
+    pub fn from_world(stage: &'static str, source: WorldError) -> Self {
+        let transient = matches!(&source, WorldError::Hv(e) if e.is_transient());
+        Self {
+            stage,
+            message: source.to_string(),
+            transient,
+            source: Some(source),
+        }
+    }
+
+    /// The boot stage that failed (e.g. `"create dom0"`).
+    pub fn stage(&self) -> &'static str {
+        self.stage
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// `true` when a retry might succeed (resource exhaustion).
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+
+    /// The underlying world error, when the failure came from one.
+    pub fn world_error(&self) -> Option<&WorldError> {
+        self.source.as_ref()
+    }
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "boot failed at {}: {}", self.stage, self.message)?;
+        if self.transient {
+            f.write_str(" (transient)")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for BootError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_ref().map(|e| e as &(dyn Error + 'static))
+    }
+}
+
 /// Per-domain outcome of executing a forged interrupt handler.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HandlerOutcome {
@@ -132,30 +210,40 @@ impl WorldBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates boot failures.
-    pub fn build(self) -> Result<World, WorldError> {
+    /// [`BootError`] tagged with the boot stage that failed; transient
+    /// failures (`-ENOMEM`/`-EBUSY`) are marked retryable for the
+    /// campaign's retry policy.
+    pub fn build(self) -> Result<World, BootError> {
         let mut hv = Hypervisor::new(
             BuildConfig::new(self.version)
                 .injector(self.injector)
                 .frames(self.frames),
         );
-        let dom0 = hv.create_domain("xen3", true, self.dom0_pages)?;
+        let dom0 = hv
+            .create_domain("xen3", true, self.dom0_pages)
+            .map_err(|e| BootError::from_world("create dom0", e.into()))?;
         let mut kernels = BTreeMap::new();
-        let mut k0 = GuestKernel::boot(&mut hv, dom0)?;
+        let mut k0 = GuestKernel::boot(&mut hv, dom0)
+            .map_err(|e| BootError::from_world("boot dom0 kernel", e.into()))?;
         // dom0 runs a root process that periodically calls the vDSO (the
         // hook the XSA-148 backdoor fires through) and holds the secret
         // the paper's reverse-shell transcript reads.
         k0.spawn("cron", Uid::ROOT, true);
-        k0.vfs_mut().write(
-            "/root/root_msg",
-            Uid::ROOT,
-            FileMode::OwnerOnly,
-            b"Confidential content in root folder!",
-        )?;
+        k0.vfs_mut()
+            .write(
+                "/root/root_msg",
+                Uid::ROOT,
+                FileMode::OwnerOnly,
+                b"Confidential content in root folder!",
+            )
+            .map_err(|e| BootError::from_world("seed dom0 filesystem", e.into()))?;
         kernels.insert(dom0, k0);
         for (name, pages) in &self.guests {
-            let dom = hv.create_domain(name, false, *pages)?;
-            let mut k = GuestKernel::boot(&mut hv, dom)?;
+            let dom = hv
+                .create_domain(name, false, *pages)
+                .map_err(|e| BootError::from_world("create guest", e.into()))?;
+            let mut k = GuestKernel::boot(&mut hv, dom)
+                .map_err(|e| BootError::from_world("boot guest kernel", e.into()))?;
             k.spawn("bash", Uid::new(1000), true);
             kernels.insert(dom, k);
         }

@@ -59,6 +59,14 @@ impl HvError {
     pub fn is_fault(&self) -> bool {
         self.errno() == -14
     }
+
+    /// `true` for resource-exhaustion errors that a retry may clear
+    /// (`-ENOMEM`, `-EBUSY`). The campaign's bounded retry policy uses
+    /// this to distinguish transient boot failures from deterministic
+    /// ones; everything else fails the cell immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HvError::NoMem | HvError::Busy)
+    }
 }
 
 impl fmt::Display for HvError {
@@ -114,6 +122,15 @@ mod tests {
         assert_eq!(HvError::NoMem.errno(), -12);
         assert!(HvError::Fault.is_fault());
         assert!(!HvError::Inval.is_fault());
+    }
+
+    #[test]
+    fn transient_errors_are_the_retryable_ones() {
+        assert!(HvError::NoMem.is_transient());
+        assert!(HvError::Busy.is_transient());
+        assert!(!HvError::Fault.is_transient());
+        assert!(!HvError::Crashed.is_transient());
+        assert!(!HvError::NoSys.is_transient());
     }
 
     #[test]

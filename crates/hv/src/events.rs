@@ -144,7 +144,10 @@ impl Hypervisor {
                         // as a (domain, port) pair raw — a guest can raise
                         // arbitrary events on arbitrary domains.
                         let victims = self.domain_ids();
-                        let victim = victims[(port as usize) % victims.len()];
+                        let victim = victims
+                            .get((port as usize) % victims.len().max(1))
+                            .copied()
+                            .ok_or(HvError::NoDomain)?;
                         self.deliver_event(victim, port % EVTCHN_PORTS as u16)?;
                         Ok(0)
                     }

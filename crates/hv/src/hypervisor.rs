@@ -125,6 +125,12 @@ impl Hypervisor {
     ///
     /// Panics if `config.frames` is too small to hold the hypervisor
     /// image (fewer than 64 frames).
+    // Boot-time invariant checks: every `expect` below touches a frame
+    // this constructor just reserved out of a heap it just sized, so a
+    // failure is a bug in the simulator itself, not a recoverable
+    // condition. Campaign code wraps world construction in its own
+    // panic boundary, so even these aborts are contained per-cell.
+    #[allow(clippy::expect_used)]
     pub fn new(config: BuildConfig) -> Self {
         assert!(config.frames >= 64, "need at least 64 machine frames");
         assert!(config.cpus >= 1, "need at least one CPU");
@@ -1195,7 +1201,7 @@ impl Hypervisor {
         self.domain_mut(granter)?
             .grant_table_mut()
             .entry_mut(gref)
-            .expect("entry exists")
+            .ok_or(HvError::Inval)?
             .mapped = true;
         self.domain_mut(grantee)?.retain_access(entry.frame);
         Ok(entry.frame)

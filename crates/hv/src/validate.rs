@@ -273,8 +273,11 @@ impl Hypervisor {
                 Ok(WriteOrigin::Validated)
             }
             2..=4 => {
-                let wanted = PageType::from_page_table_level(level - 1)
-                    .expect("level-1 in 1..=3 is a page-table level");
+                // `level` is 2..=4 here, so `level - 1` is always a
+                // page-table level; `Inval` is unreachable but keeps the
+                // hot validation path panic-free.
+                let wanted =
+                    PageType::from_page_table_level(level - 1).ok_or(HvError::Inval)?;
                 self.mem
                     .info_mut(target)?
                     .get_type(wanted)

@@ -289,14 +289,14 @@ mod tests {
 
     #[test]
     fn xsa393_exploit_leaks_on_4_6_only() {
-        let mut w = standard_world(XenVersion::V4_6, false);
+        let mut w = standard_world(XenVersion::V4_6, false).unwrap();
         let a = attacker(&w);
         let outcome = Xsa393Keep.run_exploit(&mut w, a);
         assert!(outcome.erroneous_state);
         assert!(cross_domain_violation(&w));
 
         for version in [XenVersion::V4_8, XenVersion::V4_13] {
-            let mut w = standard_world(version, false);
+            let mut w = standard_world(version, false).unwrap();
             let a = attacker(&w);
             let outcome = Xsa393Keep.run_exploit(&mut w, a);
             assert!(!outcome.erroneous_state, "{version}");
@@ -307,7 +307,7 @@ mod tests {
     #[test]
     fn xsa393_injection_works_everywhere() {
         for version in XenVersion::ALL {
-            let mut w = standard_world(version, true);
+            let mut w = standard_world(version, true).unwrap();
             let a = attacker(&w);
             let outcome = Xsa393Keep.run_injection(&mut w, a, &ArbitraryAccessInjector);
             assert!(outcome.erroneous_state, "{version}");
@@ -317,12 +317,12 @@ mod tests {
 
     #[test]
     fn xsa387_exploit_leaks_status_page_on_4_6() {
-        let mut w = standard_world(XenVersion::V4_6, false);
+        let mut w = standard_world(XenVersion::V4_6, false).unwrap();
         let a = attacker(&w);
         let outcome = Xsa387Keep.run_exploit(&mut w, a);
         assert!(outcome.erroneous_state);
 
-        let mut w = standard_world(XenVersion::V4_8, false);
+        let mut w = standard_world(XenVersion::V4_8, false).unwrap();
         let a = attacker(&w);
         let outcome = Xsa387Keep.run_exploit(&mut w, a);
         assert!(!outcome.erroneous_state);
@@ -331,7 +331,7 @@ mod tests {
 
     #[test]
     fn xsa387_injection_recreates_leak_on_fixed_build() {
-        let mut w = standard_world(XenVersion::V4_13, true);
+        let mut w = standard_world(XenVersion::V4_13, true).unwrap();
         let a = attacker(&w);
         let outcome = Xsa387Keep.run_injection(&mut w, a, &ArbitraryAccessInjector);
         assert!(outcome.erroneous_state, "{:?}", outcome.error);

@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn storm_exploit_only_on_vulnerable_version() {
-        let mut w = standard_world(XenVersion::V4_6, false);
+        let mut w = standard_world(XenVersion::V4_6, false).unwrap();
         let a = attacker(&w);
         let outcome = EvtchnStorm.run_exploit(&mut w, a);
         assert!(outcome.erroneous_state);
@@ -212,7 +212,7 @@ mod tests {
             .any(|v| matches!(v, SecurityViolation::UncontrolledInterrupts { .. })));
 
         for version in [XenVersion::V4_8, XenVersion::V4_13] {
-            let mut w = standard_world(version, false);
+            let mut w = standard_world(version, false).unwrap();
             let a = attacker(&w);
             let outcome = EvtchnStorm.run_exploit(&mut w, a);
             assert!(!outcome.erroneous_state, "{version}");
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn storm_injection_on_every_version() {
         for version in XenVersion::ALL {
-            let mut w = standard_world(version, true);
+            let mut w = standard_world(version, true).unwrap();
             let a = attacker(&w);
             let outcome = EvtchnStorm.run_injection(&mut w, a, &ArbitraryAccessInjector);
             assert!(outcome.erroneous_state, "{version}");
@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn mgmt_pause_has_no_exploit_path_anywhere() {
         for version in XenVersion::ALL {
-            let mut w = standard_world(version, false);
+            let mut w = standard_world(version, false).unwrap();
             let a = attacker(&w);
             let outcome = MgmtPause.run_exploit(&mut w, a);
             assert!(!outcome.erroneous_state, "{version}");
@@ -249,7 +249,7 @@ mod tests {
 
     #[test]
     fn mgmt_pause_injection_assesses_the_unknown_vulnerability() {
-        let mut w = standard_world(XenVersion::V4_13, true);
+        let mut w = standard_world(XenVersion::V4_13, true).unwrap();
         let a = attacker(&w);
         let outcome = MgmtPause.run_injection(&mut w, a, &ArbitraryAccessInjector);
         assert!(outcome.erroneous_state);

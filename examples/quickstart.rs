@@ -15,7 +15,7 @@ fn main() {
     // 1. The traditional path: the XSA-212-crash exploit on Xen 4.6.
     // ---------------------------------------------------------------
     println!("=== exploit path (Xen 4.6, vulnerable) ===");
-    let mut world = standard_world(XenVersion::V4_6, false);
+    let mut world = standard_world(XenVersion::V4_6, false).expect("standard world boots");
     let attacker = world.domain_by_name("guest03").expect("attacker guest");
     let outcome = Xsa212Crash.run_exploit(&mut world, attacker);
     for note in &outcome.notes {
@@ -31,7 +31,7 @@ fn main() {
     // 2. The same exploit on a fixed version fails with -EFAULT.
     // ---------------------------------------------------------------
     println!("\n=== exploit path (Xen 4.13, fixed) ===");
-    let mut world = standard_world(XenVersion::V4_13, false);
+    let mut world = standard_world(XenVersion::V4_13, false).expect("standard world boots");
     let attacker = world.domain_by_name("guest03").expect("attacker guest");
     let outcome = Xsa212Crash.run_exploit(&mut world, attacker);
     println!("  erroneous state induced: {}", outcome.erroneous_state);
@@ -42,7 +42,7 @@ fn main() {
     //    no vulnerability needed.
     // ---------------------------------------------------------------
     println!("\n=== injection path (Xen 4.13, injector build) ===");
-    let mut world = standard_world(XenVersion::V4_13, true);
+    let mut world = standard_world(XenVersion::V4_13, true).expect("standard world boots");
     let attacker = world.domain_by_name("guest03").expect("attacker guest");
     let outcome = Xsa212Crash.run_injection(&mut world, attacker, &ArbitraryAccessInjector);
     for note in &outcome.notes {

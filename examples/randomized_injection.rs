@@ -29,11 +29,13 @@ fn main() {
         ]);
         for region in regions {
             let campaign = RandomizedCampaign::new(region, 24, 0xDEAD_BEEF);
-            let (summary, _) = campaign.run(|| {
-                let w = standard_world(version, true);
-                let attacker = w.domain_by_name("guest03").unwrap();
-                (w, attacker)
-            });
+            let (summary, _) = campaign
+                .run(|| {
+                    let w = standard_world(version, true)?;
+                    let attacker = w.domain_by_name("guest03").unwrap();
+                    Ok((w, attacker))
+                })
+                .expect("sweep completes");
             table.row([
                 region.label().to_owned(),
                 summary.injected.to_string(),

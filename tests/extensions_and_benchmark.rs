@@ -20,7 +20,7 @@ fn attacker(world: &World) -> DomainId {
 
 #[test]
 fn event_channels_work_across_the_world() {
-    let mut w = standard_world(XenVersion::V4_13, false);
+    let mut w = standard_world(XenVersion::V4_13, false).unwrap();
     let a = attacker(&w);
     let dom0 = w.dom0();
     // dom0 allocates a port for the guest; the guest binds and signals.
@@ -43,7 +43,7 @@ fn injected_interrupt_state_equals_exploited_interrupt_state() {
     // The interrupt-IM analogue of the paper's equivalence argument:
     // the spurious-pending shape induced by the vulnerable hypercall on
     // 4.6 can be injected verbatim on 4.13.
-    let mut vulnerable = standard_world(XenVersion::V4_6, false);
+    let mut vulnerable = standard_world(XenVersion::V4_6, false).unwrap();
     let a = attacker(&vulnerable);
     EvtchnStorm.run_exploit(&mut vulnerable, a);
     let victim_states: Vec<(DomainId, Vec<u16>)> = vulnerable
@@ -54,7 +54,7 @@ fn injected_interrupt_state_equals_exploited_interrupt_state() {
         .collect();
     assert!(!victim_states.is_empty());
 
-    let mut hardened = standard_world(XenVersion::V4_13, true);
+    let mut hardened = standard_world(XenVersion::V4_13, true).unwrap();
     let a = attacker(&hardened);
     for (dom, ports) in &victim_states {
         let spec = ErroneousStateSpec::SpuriousPendingEvents {
@@ -70,7 +70,7 @@ fn injected_interrupt_state_equals_exploited_interrupt_state() {
 
 #[test]
 fn management_interface_privileges_hold_across_world() {
-    let mut w = standard_world(XenVersion::V4_8, false);
+    let mut w = standard_world(XenVersion::V4_8, false).unwrap();
     let a = attacker(&w);
     let dom0 = w.dom0();
     let xen2 = w.domain_by_name("xen2").unwrap();
@@ -86,7 +86,7 @@ fn management_interface_privileges_hold_across_world() {
 fn pv_invariant_detector_surfaces_latent_states() {
     // Inject a state that causes no externally visible violation yet —
     // the invariant detector still reports it.
-    let mut w = standard_world(XenVersion::V4_8, true);
+    let mut w = standard_world(XenVersion::V4_8, true).unwrap();
     let a = attacker(&w);
     let l4 = w.hv().domain(a).unwrap().cr3().unwrap();
     // Install an RO self-map legitimately, then inject RW.
@@ -112,7 +112,7 @@ fn pv_invariant_detector_surfaces_latent_states() {
 #[test]
 fn both_injectors_drive_a_full_use_case_identically() {
     for injector in [&ArbitraryAccessInjector as &dyn Injector, &DebugStubInjector] {
-        let mut w = standard_world(XenVersion::V4_13, true);
+        let mut w = standard_world(XenVersion::V4_13, true).unwrap();
         let a = attacker(&w);
         let outcome = xsa_exploits::Xsa182Test.run_injection(&mut w, a, injector);
         assert!(outcome.erroneous_state, "{}", injector.name());
@@ -127,7 +127,7 @@ fn debug_stub_injector_on_stock_hardened_build() {
     // The intrusiveness tradeoff of §IX-D, demonstrated: a stock 4.13
     // build (no injector hypercall) can still be assessed via the debug
     // stub.
-    let mut w = standard_world(XenVersion::V4_13, false);
+    let mut w = standard_world(XenVersion::V4_13, false).unwrap();
     let a = attacker(&w);
     let outcome = xsa_exploits::Xsa212Crash.run_injection(&mut w, a, &DebugStubInjector);
     assert!(outcome.erroneous_state);
@@ -171,7 +171,7 @@ fn extended_campaign_and_benchmark() {
 
 #[test]
 fn monitors_for_new_violations_render() {
-    let mut w = standard_world(XenVersion::V4_6, true);
+    let mut w = standard_world(XenVersion::V4_6, true).unwrap();
     let a = attacker(&w);
     let dom0 = w.dom0();
     ArbitraryAccessInjector
@@ -184,7 +184,7 @@ fn monitors_for_new_violations_render() {
 
 #[test]
 fn mgmt_pause_monitor_is_quiet_without_injection() {
-    let w = standard_world(XenVersion::V4_13, true);
+    let w = standard_world(XenVersion::V4_13, true).unwrap();
     let a = attacker(&w);
     let obs = MgmtPause.monitor(&w, a).observe(&w);
     assert!(obs.is_clean());

@@ -17,7 +17,7 @@ fn worlds_boot_identically_across_versions() {
     // version; so must the simulator.
     let mut layouts = Vec::new();
     for version in XenVersion::ALL {
-        let w = standard_world(version, true);
+        let w = standard_world(version, true).unwrap();
         assert_eq!(w.domains().len(), 3);
         let per_domain: Vec<(String, usize)> = w
             .domains()
@@ -34,7 +34,7 @@ fn worlds_boot_identically_across_versions() {
 
 #[test]
 fn injector_activity_is_fully_audited() {
-    let mut w = standard_world(XenVersion::V4_8, true);
+    let mut w = standard_world(XenVersion::V4_8, true).unwrap();
     let attacker = w.domain_by_name("guest03").unwrap();
     let spec = ErroneousStateSpec::OverwriteIdtGate {
         cpu: 0,
@@ -61,7 +61,7 @@ fn injector_activity_is_fully_audited() {
 
 #[test]
 fn threat_chain_can_be_reconstructed_from_a_run() {
-    let mut w = standard_world(XenVersion::V4_6, true);
+    let mut w = standard_world(XenVersion::V4_6, true).unwrap();
     let attacker = w.domain_by_name("guest03").unwrap();
     let spec = ErroneousStateSpec::OverwriteIdtGate {
         cpu: 0,
@@ -90,7 +90,7 @@ fn threat_chain_can_be_reconstructed_from_a_run() {
 
 #[test]
 fn monitors_compose_over_multiple_simultaneous_violations() {
-    let mut w = standard_world(XenVersion::V4_6, true);
+    let mut w = standard_world(XenVersion::V4_6, true).unwrap();
     let attacker = w.domain_by_name("guest03").unwrap();
     // Violation 1: cross-domain retained access.
     let dom0 = w.dom0();
@@ -147,11 +147,13 @@ fn randomized_campaigns_run_on_all_regions_and_versions() {
             TargetRegion::DomainPageTables,
             TargetRegion::DomainFrames,
         ] {
-            let (summary, outcomes) = RandomizedCampaign::new(region, 4, 11).run(|| {
-                let w = standard_world(version, true);
-                let a = w.domain_by_name("guest03").unwrap();
-                (w, a)
-            });
+            let (summary, outcomes) = RandomizedCampaign::new(region, 4, 11)
+                .run(|| {
+                    let w = standard_world(version, true)?;
+                    let a = w.domain_by_name("guest03").unwrap();
+                    Ok((w, a))
+                })
+                .unwrap();
             assert_eq!(summary.total, 4);
             assert_eq!(outcomes.len(), 4);
         }
@@ -160,7 +162,7 @@ fn randomized_campaigns_run_on_all_regions_and_versions() {
 
 #[test]
 fn crashed_world_rejects_everything_gracefully() {
-    let mut w = standard_world(XenVersion::V4_6, true);
+    let mut w = standard_world(XenVersion::V4_6, true).unwrap();
     let attacker = w.domain_by_name("guest03").unwrap();
     w.hv_mut().crash("test");
     // Hypercalls fail with Crashed, not panics.
@@ -180,7 +182,7 @@ fn crashed_world_rejects_everything_gracefully() {
 fn full_stack_shell_pipeline() {
     // Backdoor -> reverse shell -> command execution -> permission model,
     // end to end on the hardened version (the XSA-148 injection path).
-    let mut w = standard_world(XenVersion::V4_13, true);
+    let mut w = standard_world(XenVersion::V4_13, true).unwrap();
     let attacker = w.domain_by_name("guest03").unwrap();
     let outcome = intrusion_core::UseCase::run_injection(
         &xsa_exploits::Xsa148Priv,
@@ -204,8 +206,8 @@ fn full_stack_shell_pipeline() {
 #[test]
 fn dispatch_interface_equivalent_to_direct_calls() {
     // The uniform Hypercall dispatcher and the typed methods must agree.
-    let mut w1 = standard_world(XenVersion::V4_8, true);
-    let mut w2 = standard_world(XenVersion::V4_8, true);
+    let mut w1 = standard_world(XenVersion::V4_8, true).unwrap();
+    let mut w2 = standard_world(XenVersion::V4_8, true).unwrap();
     let a1 = w1.domain_by_name("guest03").unwrap();
     let a2 = w2.domain_by_name("guest03").unwrap();
     let gate = w1.hv().sidt(0).offset(14 * 16);
@@ -230,7 +232,7 @@ fn dispatch_interface_equivalent_to_direct_calls() {
 fn non_root_backdoor_sessions_are_not_privilege_escalations() {
     // A guest user process tripping a backdoor yields a non-root shell;
     // the monitor must not report a root-shell violation.
-    let mut w = standard_world(XenVersion::V4_8, true);
+    let mut w = standard_world(XenVersion::V4_8, true).unwrap();
     w.remote_mut().listen();
     let guest = w.domain_by_name("xen2").unwrap();
     let vdso = w.kernel(guest).unwrap().vdso_mfn(w.hv()).unwrap();
