@@ -1,17 +1,94 @@
 //! Regenerates **Table III**: the injection campaign across all
 //! versions, plus the RQ1/RQ2/RQ3 summaries of §VI–§VIII, and records
 //! campaign throughput in `BENCH_campaign.json`.
+//!
+//! Flags:
+//!
+//! * `--jobs N` — worker count (default: [`default_jobs`])
+//! * `--trace-out FILE` — write the campaign's structured trace as JSONL
+//! * `--metrics-out FILE` — write the metrics-registry snapshot as JSON
+//! * `--json` — also print the full report as JSON
 
-use bench::run_paper_campaign;
-use intrusion_core::{default_jobs, CampaignThroughput, Mode};
+use bench::paper_campaign;
 use hvsim::XenVersion;
+use hvsim_obs::{to_jsonl, MetricsRegistry, Tracer};
+use intrusion_core::{default_jobs, CampaignThroughput, Mode, PhaseLatency};
+use std::process::exit;
 use std::time::Instant;
 
+struct Options {
+    jobs: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        jobs: default_jobs(),
+        trace_out: None,
+        metrics_out: None,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                let raw = value("--jobs");
+                opts.jobs = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs needs a positive integer, got '{raw}'");
+                    exit(2);
+                });
+            }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
+            "--json" => opts.json = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!(
+                    "usage: table3_campaign [--jobs N] [--trace-out FILE] \
+                     [--metrics-out FILE] [--json]"
+                );
+                exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn print_phase(name: &str, phase: &PhaseLatency) {
+    println!(
+        "  {name:<8} completed n={:<3} p50={:<8} p95={:<8} max={:<8} us   \
+         degraded n={:<3} p50={:<8} p95={:<8} max={} us",
+        phase.completed.count,
+        phase.completed.p50_us,
+        phase.completed.p95_us,
+        phase.completed.max_us,
+        phase.degraded.count,
+        phase.degraded.p50_us,
+        phase.degraded.p95_us,
+        phase.degraded.max_us,
+    );
+}
+
 fn main() {
-    let workers = default_jobs();
+    let opts = parse_args();
+    let workers = opts.jobs;
+    let tracer = if opts.trace_out.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+    let registry = MetricsRegistry::new();
     eprintln!("running the full campaign (24 cells, {workers} workers) ...");
     let start = Instant::now();
-    let report = run_paper_campaign();
+    let report = paper_campaign()
+        .jobs(workers)
+        .tracer(tracer.clone())
+        .metrics(registry.clone())
+        .run();
     let elapsed = start.elapsed();
     println!("{}", report.render_table3());
 
@@ -84,14 +161,40 @@ fn main() {
         throughput.total_cell_wall_time_us,
         throughput.total_hypercalls,
     );
+    println!("per-phase latency (completed vs degraded cells):");
+    print_phase("boot", &throughput.latency.boot);
+    print_phase("inject", &throughput.latency.inject);
+    print_phase("monitor", &throughput.latency.monitor);
     let bench = serde_json::to_string_pretty(&throughput).expect("throughput serializes");
     match std::fs::write("BENCH_campaign.json", bench) {
         Ok(()) => eprintln!("wrote BENCH_campaign.json"),
         Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
     }
 
+    if let Some(path) = &opts.trace_out {
+        let events = tracer.drain();
+        match std::fs::write(path, to_jsonl(&events)) {
+            Ok(()) => eprintln!("wrote {} trace events to {path}", events.len()),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        let snapshot =
+            serde_json::to_string_pretty(&registry.snapshot()).expect("snapshot serializes");
+        match std::fs::write(path, snapshot) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+
     println!("\nJSON report written to stdout of `--json` runs; cells: {}", report.cells().len());
-    if std::env::args().any(|a| a == "--json") {
+    if opts.json {
         println!("{}", report.to_json().expect("report serializes"));
     }
 }

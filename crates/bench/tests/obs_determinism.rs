@@ -1,0 +1,229 @@
+//! End-to-end acceptance test for the observability layer: a campaign
+//! mixing a panicking use case, a deadline-overrunning use case, and a
+//! transiently-failing boot must produce a trace and metrics snapshot
+//! that are (after normalization) byte-identical at any worker count,
+//! schema-valid line by line, and summarizable — and degraded cells must
+//! carry per-phase timings so the failure is attributable.
+
+use guestos::{BootError, World};
+use hvsim::XenVersion;
+use hvsim_mem::DomainId;
+use hvsim_obs::{normalized_jsonl, parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer};
+use intrusion_core::campaign::standard_world;
+use intrusion_core::{
+    AbusiveFunctionality, Campaign, CampaignReport, CampaignThroughput, CellOutcome, Injector,
+    IntrusionModel, Mode, ScenarioOutcome, UseCase,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn model() -> IntrusionModel {
+    IntrusionModel::guest_hypercall_memory(
+        "IM-obs-determinism",
+        AbusiveFunctionality::WriteUnauthorizedArbitraryMemory,
+        &[],
+    )
+}
+
+/// A well-behaved use case: induces nothing, violates nothing.
+struct QuietCase;
+
+impl UseCase for QuietCase {
+    fn name(&self) -> &'static str {
+        "quiet"
+    }
+
+    fn intrusion_model(&self) -> IntrusionModel {
+        model()
+    }
+
+    fn run_exploit(&self, _world: &mut World, _attacker: DomainId) -> ScenarioOutcome {
+        ScenarioOutcome::failed("-ENOSYS (not attempted)")
+    }
+
+    fn run_injection(
+        &self,
+        _world: &mut World,
+        _attacker: DomainId,
+        _injector: &dyn Injector,
+    ) -> ScenarioOutcome {
+        ScenarioOutcome::default()
+    }
+}
+
+/// Panics (only) when injecting on Xen 4.8.
+struct PanickyCase;
+
+impl UseCase for PanickyCase {
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+
+    fn intrusion_model(&self) -> IntrusionModel {
+        model()
+    }
+
+    fn run_exploit(&self, _world: &mut World, _attacker: DomainId) -> ScenarioOutcome {
+        ScenarioOutcome::failed("-ENOSYS (not attempted)")
+    }
+
+    fn run_injection(
+        &self,
+        world: &mut World,
+        _attacker: DomainId,
+        _injector: &dyn Injector,
+    ) -> ScenarioOutcome {
+        if world.hv().version() == XenVersion::V4_8 {
+            panic!("injector blew up");
+        }
+        ScenarioOutcome::default()
+    }
+}
+
+/// Overruns the cell deadline (only) when exploiting Xen 4.13.
+struct SleepyCase;
+
+impl UseCase for SleepyCase {
+    fn name(&self) -> &'static str {
+        "sleepy"
+    }
+
+    fn intrusion_model(&self) -> IntrusionModel {
+        model()
+    }
+
+    fn run_exploit(&self, world: &mut World, _attacker: DomainId) -> ScenarioOutcome {
+        if world.hv().version() == XenVersion::V4_13 {
+            std::thread::sleep(Duration::from_millis(400));
+        }
+        ScenarioOutcome::failed("-ENOSYS (not attempted)")
+    }
+
+    fn run_injection(
+        &self,
+        _world: &mut World,
+        _attacker: DomainId,
+        _injector: &dyn Injector,
+    ) -> ScenarioOutcome {
+        ScenarioOutcome::default()
+    }
+}
+
+/// The messy campaign of `fault_containment.rs`: two transient boot
+/// failures on `(4.6, injector)`, one panicking cell, one deadline
+/// overrun. Fresh failure counters per call.
+fn messy_campaign() -> Campaign {
+    let boot_attempts: Mutex<BTreeMap<(XenVersion, bool), u32>> = Mutex::new(BTreeMap::new());
+    Campaign::new()
+        .with_use_case(Box::new(QuietCase))
+        .with_use_case(Box::new(PanickyCase))
+        .with_use_case(Box::new(SleepyCase))
+        .world_factory(Arc::new(move |version, injector| {
+            if version == XenVersion::V4_6 && injector {
+                let mut attempts = boot_attempts.lock().unwrap();
+                let n = attempts.entry((version, injector)).or_insert(0);
+                *n += 1;
+                if *n <= 2 {
+                    return Err(BootError::transient("create dom0", "out of memory"));
+                }
+            }
+            standard_world(version, injector)
+        }))
+        .retries(2)
+        .cell_deadline(Duration::from_millis(100))
+}
+
+/// Runs the messy campaign with obs attached; returns (report, trace
+/// JSONL, metrics snapshot JSON).
+fn observed_run(jobs: usize) -> (CampaignReport, String, String) {
+    let tracer = Tracer::enabled();
+    let registry = MetricsRegistry::new();
+    let report = messy_campaign()
+        .tracer(tracer.clone())
+        .metrics(registry.clone())
+        .run_with_jobs(jobs);
+    let jsonl = to_jsonl(&tracer.drain());
+    let metrics = serde_json::to_string(&registry.snapshot().normalized()).unwrap();
+    (report, jsonl, metrics)
+}
+
+#[test]
+fn traces_and_metrics_are_schedule_independent() {
+    let (serial_report, serial_jsonl, serial_metrics) = observed_run(1);
+    let (parallel_report, parallel_jsonl, parallel_metrics) = observed_run(8);
+
+    // The report stays schedule-independent with obs attached.
+    assert_eq!(
+        serial_report.normalized().to_json().unwrap(),
+        parallel_report.normalized().to_json().unwrap(),
+        "normalized reports must be byte-identical at jobs=1 and jobs=8"
+    );
+
+    // Every line of the raw trace is schema-valid.
+    let serial_events = parse_jsonl(&serial_jsonl).expect("serial trace validates");
+    let parallel_events = parse_jsonl(&parallel_jsonl).expect("parallel trace validates");
+    assert!(!serial_events.is_empty());
+    assert_eq!(serial_events.len(), parallel_events.len());
+
+    // Normalized (wall-clock zeroed) traces are byte-identical: the
+    // logical clock is positional, not scheduling-dependent.
+    assert_eq!(
+        normalized_jsonl(&serial_events),
+        normalized_jsonl(&parallel_events),
+        "normalized traces must be byte-identical at jobs=1 and jobs=8"
+    );
+
+    // So are the normalized metrics snapshots.
+    assert_eq!(serial_metrics, parallel_metrics);
+}
+
+#[test]
+fn degraded_cells_carry_phase_timings() {
+    let report = messy_campaign().run_with_jobs(2);
+
+    // The deadline overrun is attributable: the sleepy exploit burned
+    // its time in the inject phase, and the recorded timing says so.
+    let slow = report.cell("sleepy", XenVersion::V4_13, Mode::Exploit).unwrap();
+    assert!(matches!(slow.outcome, CellOutcome::TimedOut { .. }));
+    let inject_us = slow.phase_us.inject_us.expect("timed-out cell keeps inject timing");
+    assert!(
+        inject_us >= 300_000,
+        "the 400 ms sleep must show up in the inject phase, got {inject_us} us"
+    );
+    assert!(slow.phase_us.boot_us.is_some());
+
+    // The panicking cell records how far it got: boot and inject are
+    // timed, the monitor phase was never entered.
+    let crashed = report.cell("panicky", XenVersion::V4_8, Mode::Injection).unwrap();
+    assert!(matches!(crashed.outcome, CellOutcome::Crashed { .. }));
+    assert!(crashed.phase_us.boot_us.is_some());
+    assert!(crashed.phase_us.inject_us.is_some(), "elapsed-until-panic is recorded");
+    assert_eq!(crashed.phase_us.monitor_us, None, "monitor never ran");
+
+    // The latency breakdown splits the populations.
+    let throughput = CampaignThroughput::new(&report, 2, 1_000_000);
+    assert_eq!(throughput.latency.inject.degraded.count, 2, "panicky + sleepy");
+    // Sleepy ran to completion (late), so its monitor phase was timed;
+    // panicky never reached the monitor.
+    assert_eq!(throughput.latency.monitor.degraded.count, 1);
+    assert_eq!(throughput.latency.boot.completed.count, 16);
+    assert!(throughput.latency.inject.degraded.max_us >= 300_000);
+}
+
+#[test]
+fn trace_summary_profiles_the_campaign() {
+    let (_, jsonl, _) = observed_run(4);
+    let events = parse_jsonl(&jsonl).unwrap();
+    let summary = TraceSummary::compute(&events);
+    let rendered = summary.render(5);
+    assert!(rendered.contains("per-path self-time profile"), "{rendered}");
+    assert!(rendered.contains("cell/inject"), "{rendered}");
+    assert!(rendered.contains("cell/monitor"), "{rendered}");
+    assert!(rendered.contains("slowest cells"), "{rendered}");
+    // The deadline-overrunning cell dominates wall time.
+    assert!(
+        rendered.contains("sleepy / Xen 4.13 / exploit"),
+        "the slowest cell is the sleeper:\n{rendered}"
+    );
+}

@@ -13,6 +13,10 @@ pub struct Parsed {
     pub options: BTreeMap<String, String>,
     /// Bare `--flag` switches.
     pub flags: Vec<String>,
+    /// Positional arguments after the subcommand (e.g. `trace summary
+    /// FILE`). Commands that take none reject them via
+    /// [`Parsed::no_positionals`].
+    pub positionals: Vec<String>,
 }
 
 /// Argument errors.
@@ -52,8 +56,10 @@ impl std::error::Error for ArgError {}
 
 /// Parses `args` (without the program name).
 ///
-/// Everything after the subcommand must be `--key value` pairs; a key
-/// followed by another `--key` or end-of-input is treated as a flag.
+/// Arguments after the subcommand are either `--key value` pairs (a key
+/// followed by another `--key` or end-of-input is treated as a flag) or
+/// positionals, collected in order. Most commands take no positionals
+/// and reject them with [`Parsed::no_positionals`].
 ///
 /// # Errors
 ///
@@ -74,7 +80,8 @@ where
     };
     while let Some(arg) = iter.next() {
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(ArgError::UnexpectedPositional(arg));
+            parsed.positionals.push(arg);
+            continue;
         };
         match iter.peek() {
             Some(next) if !next.starts_with("--") => {
@@ -109,6 +116,18 @@ impl Parsed {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// Rejects stray positional arguments — for commands that take none.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::UnexpectedPositional`] naming the first extra.
+    pub fn no_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(extra) => Err(ArgError::UnexpectedPositional(extra.clone())),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,11 +152,17 @@ mod tests {
     }
 
     #[test]
-    fn positional_after_command_rejected() {
+    fn positionals_collected_and_rejectable() {
+        let p = parse(["trace", "summary", "t.jsonl", "--top", "5"]).unwrap();
+        assert_eq!(p.positionals, vec!["summary".to_owned(), "t.jsonl".to_owned()]);
+        assert_eq!(p.get_or("top", "10"), "5");
+        // Commands that take no positionals reject them explicitly.
+        let p = parse(["run", "extra"]).unwrap();
         assert_eq!(
-            parse(["run", "extra"]).unwrap_err(),
+            p.no_positionals().unwrap_err(),
             ArgError::UnexpectedPositional("extra".into())
         );
+        assert!(parse(["campaign", "--json"]).unwrap().no_positionals().is_ok());
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! intrusion-injection assessment tooling.
 //!
 //! ```text
-//! intrusion-injector campaign [--extensions] [--json] [--jobs 4]
+//! intrusion-injector campaign [--extensions] [--json] [--jobs 4] [--trace-out t.jsonl]
 //! intrusion-injector run --use-case XSA-182-test --version 4.13 --mode injection
 //! intrusion-injector randomized --region idt --trials 24 --seed 7 --version 4.8
 //! intrusion-injector benchmark [--jobs 4]
+//! intrusion-injector trace summary t.jsonl --top 10
+//! intrusion-injector trace validate t.jsonl
 //! intrusion-injector taxonomy
 //! intrusion-injector models
 //! intrusion-injector help
@@ -14,6 +16,7 @@
 mod args;
 
 use args::{ArgError, Parsed};
+use hvsim_obs::{parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer};
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
     ArbitraryAccessInjector, Campaign, CampaignReport, Mode, RandomizedCampaign, RandomizedSummary,
@@ -37,6 +40,8 @@ COMMANDS:
                    [--jobs <n>]    worker threads (default: hardware threads)
                    [--cell-deadline-ms <n>]  per-cell watchdog deadline (default: none)
                    [--retries <n>] extra boot attempts for transient failures (default 0)
+                   [--trace-out <file>]    write the structured trace as JSONL
+                   [--metrics-out <file>]  write the metrics snapshot as JSON
     run          run one use case once
                    --use-case <name>      e.g. XSA-212-crash (see 'models')
                    [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
@@ -52,6 +57,12 @@ COMMANDS:
                    [--jobs <n>]    worker threads (default: hardware threads)
                    [--cell-deadline-ms <n>]  per-cell watchdog deadline (default: none)
                    [--retries <n>] extra boot attempts for transient failures (default 0)
+                   [--trace-out <file>]    write the structured trace as JSONL
+                   [--metrics-out <file>]  write the metrics snapshot as JSON
+    trace        inspect a JSONL trace written by --trace-out
+                   summary <file>   per-phase self-time profile + slowest cells
+                                    [--top <n>]  slowest cells to list (default 10)
+                   validate <file>  check every line against the event schema
     taxonomy     print the abusive-functionality study (Table I)
     models       list the available use cases and their intrusion models
     help         this text
@@ -156,6 +167,39 @@ fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, St
     Ok(campaign)
 }
 
+/// The observability hooks a campaign command may attach via
+/// `--trace-out` / `--metrics-out`. The tracer stays disabled (a no-op)
+/// unless a trace file was requested.
+struct ObsHooks {
+    tracer: Tracer,
+    registry: MetricsRegistry,
+}
+
+fn attach_obs(campaign: Campaign, p: &Parsed) -> (Campaign, ObsHooks) {
+    let tracer =
+        if p.options.contains_key("trace-out") { Tracer::enabled() } else { Tracer::disabled() };
+    let registry = MetricsRegistry::new();
+    let campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
+    (campaign, ObsHooks { tracer, registry })
+}
+
+/// Writes the requested trace / metrics files after a campaign ran.
+fn write_obs_outputs(p: &Parsed, hooks: &ObsHooks) -> Result<(), String> {
+    if let Some(path) = p.options.get("trace-out") {
+        let events = hooks.tracer.drain();
+        std::fs::write(path, to_jsonl(&events))
+            .map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote {} trace events to {path}", events.len());
+    }
+    if let Some(path) = p.options.get("metrics-out") {
+        let snapshot = serde_json::to_string_pretty(&hooks.registry.snapshot())
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, snapshot).map_err(|e| format!("could not write {path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
 fn all_use_cases() -> Vec<Box<dyn UseCase>> {
     paper_use_cases().into_iter().chain(extension_use_cases()).collect()
 }
@@ -174,8 +218,10 @@ fn cmd_campaign(p: &Parsed) -> Result<CliOutcome, String> {
             campaign = campaign.with_use_case(uc);
         }
     }
+    let (campaign, hooks) = attach_obs(campaign, p);
     eprintln!("running the campaign ...");
     let report = campaign.run();
+    write_obs_outputs(p, &hooks)?;
     let outcome = CliOutcome::for_report(&report);
     if p.has_flag("json") {
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
@@ -285,14 +331,47 @@ fn cmd_benchmark(p: &Parsed) -> Result<CliOutcome, String> {
     for uc in all_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
+    let (campaign, hooks) = attach_obs(campaign, p);
     eprintln!("running the extended campaign ...");
     let report = campaign.run();
+    write_obs_outputs(p, &hooks)?;
     let benchmark = SecurityBenchmark::from_report(&report);
     println!("{}", benchmark.render());
     for (i, (version, score)) in benchmark.ranking().iter().enumerate() {
         println!("  {}. Xen {version}  score {score:.2}", i + 1);
     }
     Ok(CliOutcome::for_report(&report))
+}
+
+fn cmd_trace(p: &Parsed) -> Result<CliOutcome, String> {
+    let action = p
+        .positionals
+        .first()
+        .ok_or("trace needs an action: trace summary <file> | trace validate <file>")?;
+    let path = p
+        .positionals
+        .get(1)
+        .ok_or_else(|| format!("trace {action} needs a file path"))?;
+    if let Some(extra) = p.positionals.get(2) {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    match action.as_str() {
+        "validate" => {
+            let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: {} events, every line schema-valid", events.len());
+            Ok(CliOutcome::Clean)
+        }
+        "summary" => {
+            let top: usize =
+                p.get_or("top", "10").parse().map_err(|_| "--top must be a number")?;
+            let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", TraceSummary::compute(&events).render(top));
+            Ok(CliOutcome::Clean)
+        }
+        other => Err(format!("unknown trace action '{other}' (expected summary|validate)")),
+    }
 }
 
 fn cmd_models() -> Result<CliOutcome, String> {
@@ -308,11 +387,16 @@ fn cmd_models() -> Result<CliOutcome, String> {
 
 fn run(argv: Vec<String>) -> Result<CliOutcome, String> {
     let parsed = args::parse(argv).map_err(|e| e.to_string())?;
+    // Only `trace` takes positional arguments (its action + file).
+    if parsed.command != "trace" {
+        parsed.no_positionals().map_err(|e| e.to_string())?;
+    }
     match parsed.command.as_str() {
         "campaign" => cmd_campaign(&parsed),
         "run" => cmd_run(&parsed),
         "randomized" => cmd_randomized(&parsed),
         "benchmark" => cmd_benchmark(&parsed),
+        "trace" => cmd_trace(&parsed),
         "taxonomy" => {
             println!("{}", xsa_exploits::advisories::render_table1());
             Ok(CliOutcome::Clean)
@@ -485,6 +569,7 @@ mod tests {
             attempts: 1,
             wall_time_us: 0,
             hypercalls: 0,
+            phase_us: intrusion_core::PhaseTimings::default(),
         };
         let violation = SecurityViolation::HypervisorCrash { message: "x".into() };
         let clean = CampaignReport::from_cells(vec![cell(vec![], None)]);
@@ -496,6 +581,40 @@ mod tests {
             cell(vec![], Some(CampaignError::HarnessCrash { payload: "boom".into() })),
         ]);
         assert_eq!(CliOutcome::for_report(&degraded), CliOutcome::Degraded);
+    }
+
+    #[test]
+    fn trace_roundtrip_via_campaign() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("cli_trace_roundtrip.jsonl").display().to_string();
+        let metrics = dir.join("cli_metrics_roundtrip.json").display().to_string();
+        run(vec![
+            "campaign".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--trace-out".into(),
+            trace.clone(),
+            "--metrics-out".into(),
+            metrics.clone(),
+        ])
+        .unwrap();
+        run(vec!["trace".into(), "validate".into(), trace.clone()]).unwrap();
+        run(vec![
+            "trace".into(),
+            "summary".into(),
+            trace.clone(),
+            "--top".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(
+            std::fs::read_to_string(&metrics).unwrap().contains("campaign.cells"),
+            "metrics snapshot carries the campaign counters"
+        );
+        let err = run(vec!["trace".into(), "summary".into()]).unwrap_err();
+        assert!(err.contains("file path"));
+        let err = run(vec!["trace".into(), "frobnicate".into(), trace]).unwrap_err();
+        assert!(err.contains("summary|validate"));
     }
 
     #[test]

@@ -211,6 +211,7 @@ mod tests {
             attempts: 1,
             wall_time_us: 0,
             hypercalls: 0,
+            phase_us: crate::campaign::PhaseTimings::default(),
         }
     }
 

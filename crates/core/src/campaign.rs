@@ -5,10 +5,12 @@
 use crate::error::{panic_payload, CampaignError, CellId, CellOutcome};
 use crate::injector::ArbitraryAccessInjector;
 use crate::monitor::SecurityViolation;
+use crate::obs_bridge;
 use crate::report::{TextTable, CHECK, SHIELD};
 use crate::scenario::{Mode, UseCase};
 use guestos::{BootError, World, WorldBuilder};
 use hvsim::XenVersion;
+use hvsim_obs::{HistogramSummary, MetricsRegistry, MetricsSnapshot, TraceCtx, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -56,6 +58,35 @@ pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Name of the attacker guest in the standard world.
 pub const ATTACKER_GUEST: &str = "guest03";
 
+/// Wall-clock time spent in each cell phase, in microseconds. `None`
+/// means the phase was never reached; a phase that crashed or timed out
+/// records the time it consumed before dying, so a degraded cell is
+/// attributable to boot vs inject vs monitor. Which phases are `Some`
+/// is deterministic for a fixed workload; the durations themselves are
+/// wall-clock and are zeroed by [`CampaignReport::normalized`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// World acquisition (snapshot clone or factory boot).
+    pub boot_us: Option<u64>,
+    /// The scenario body (exploit or injection path).
+    pub inject_us: Option<u64>,
+    /// Monitoring for security violations.
+    pub monitor_us: Option<u64>,
+}
+
+impl PhaseTimings {
+    /// The timings with every recorded duration zeroed, preserving
+    /// which phases ran.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        Self {
+            boot_us: self.boot_us.map(|_| 0),
+            inject_us: self.inject_us.map(|_| 0),
+            monitor_us: self.monitor_us.map(|_| 0),
+        }
+    }
+}
+
 /// One campaign cell: a use case run in one mode on one version.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CellResult {
@@ -87,13 +118,18 @@ pub struct CellResult {
     /// boot failures were retried).
     pub attempts: u32,
     /// Wall-clock time spent on this cell (world acquisition + run +
-    /// monitoring), in microseconds. The only non-deterministic field;
+    /// monitoring), in microseconds. Non-deterministic;
     /// [`CampaignReport::normalized`] zeroes it for run-to-run
     /// comparisons.
     pub wall_time_us: u64,
     /// Hypercalls executed while running this cell (deterministic for a
-    /// given configuration).
+    /// given configuration). Kept for report compatibility; campaign
+    /// totals are also published as the `campaign.hypercalls` registry
+    /// counter when metrics are enabled (see [`Campaign::metrics`]).
     pub hypercalls: u64,
+    /// Per-phase wall-clock breakdown — recorded for degraded cells
+    /// too, so a timeout or crash is attributable to a phase.
+    pub phase_us: PhaseTimings,
 }
 
 impl CellResult {
@@ -116,18 +152,25 @@ impl CellResult {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CampaignReport {
     cells: Vec<CellResult>,
+    metrics: Option<MetricsSnapshot>,
 }
 
 impl CampaignReport {
     /// Builds a report from pre-computed cells (used by the benchmark
     /// layer and by report deserialization).
     pub fn from_cells(cells: Vec<CellResult>) -> Self {
-        Self { cells }
+        Self { cells, metrics: None }
     }
 
     /// All cells.
     pub fn cells(&self) -> &[CellResult] {
         &self.cells
+    }
+
+    /// The metrics snapshot taken at collection time, when the campaign
+    /// ran with a registry attached (see [`Campaign::metrics`]).
+    pub fn metrics(&self) -> Option<&MetricsSnapshot> {
+        self.metrics.as_ref()
     }
 
     /// Looks up one cell.
@@ -145,16 +188,19 @@ impl CampaignReport {
         self.cells.iter().filter(move |c| seen.insert(c.use_case.clone()))
     }
 
-    /// A copy with every wall-clock timing zeroed. Timing is the only
-    /// non-deterministic part of a report; the normalized form is
-    /// byte-identical across runs and worker counts for the same
+    /// A copy with every wall-clock timing zeroed — per-cell totals,
+    /// per-phase breakdowns, and metric histogram quantiles. Timing is
+    /// the only non-deterministic part of a report; the normalized form
+    /// is byte-identical across runs and worker counts for the same
     /// configuration.
     #[must_use]
     pub fn normalized(&self) -> Self {
         let mut report = self.clone();
         for cell in &mut report.cells {
             cell.wall_time_us = 0;
+            cell.phase_us = cell.phase_us.normalized();
         }
+        report.metrics = report.metrics.as_ref().map(MetricsSnapshot::normalized);
         report
     }
 
@@ -319,6 +365,43 @@ impl CampaignReport {
     }
 }
 
+/// Completed/degraded histogram summaries for one cell phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseLatency {
+    /// Summary over cells that completed cleanly.
+    pub completed: HistogramSummary,
+    /// Summary over cells on which the harness degraded.
+    pub degraded: HistogramSummary,
+}
+
+/// Per-phase latency summaries (p50/p95/max), split completed vs
+/// degraded — the histogram block `BENCH_campaign.json` carries
+/// alongside the existing throughput fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// World acquisition.
+    pub boot: PhaseLatency,
+    /// Scenario body.
+    pub inject: PhaseLatency,
+    /// Violation monitoring.
+    pub monitor: PhaseLatency,
+}
+
+impl LatencyBreakdown {
+    /// Summarizes a report's per-phase timings.
+    pub fn from_report(report: &CampaignReport) -> Self {
+        let phase = |value: fn(&CellResult) -> Option<u64>| PhaseLatency {
+            completed: obs_bridge::phase_summary(report.completed_cells(), value),
+            degraded: obs_bridge::phase_summary(report.degraded_cells(), value),
+        };
+        Self {
+            boot: phase(|c| c.phase_us.boot_us),
+            inject: phase(|c| c.phase_us.inject_us),
+            monitor: phase(|c| c.phase_us.monitor_us),
+        }
+    }
+}
+
 /// A machine-readable campaign throughput record — what the Table III
 /// regenerator writes to `BENCH_campaign.json`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -342,6 +425,8 @@ pub struct CampaignThroughput {
     pub total_cell_wall_time_us: u64,
     /// Hypercalls executed across all cells.
     pub total_hypercalls: u64,
+    /// Per-phase latency summaries, split completed vs degraded.
+    pub latency: LatencyBreakdown,
 }
 
 impl CampaignThroughput {
@@ -361,6 +446,7 @@ impl CampaignThroughput {
             cells_per_sec: completed_cells as f64 * 1_000_000.0 / elapsed_us as f64,
             total_cell_wall_time_us: report.total_wall_time_us(),
             total_hypercalls: report.total_hypercalls(),
+            latency: LatencyBreakdown::from_report(report),
         }
     }
 }
@@ -391,12 +477,14 @@ pub struct Campaign {
     modes: Vec<Mode>,
     factory: WorldFactory,
     config: CampaignConfig,
+    tracer: Tracer,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Campaign {
     /// A campaign over all three versions and both modes, using the
     /// standard world, snapshot reuse, and one worker per hardware
-    /// thread.
+    /// thread. Tracing and metrics are off until attached.
     pub fn new() -> Self {
         Self {
             use_cases: Vec::new(),
@@ -404,6 +492,8 @@ impl Campaign {
             modes: vec![Mode::Exploit, Mode::Injection],
             factory: Arc::new(standard_world),
             config: CampaignConfig { reuse_snapshots: true, ..CampaignConfig::default() },
+            tracer: Tracer::disabled(),
+            metrics: None,
         }
     }
 
@@ -477,6 +567,25 @@ impl Campaign {
         self
     }
 
+    /// Attaches a tracer: campaign setup, every cell phase, guest boot
+    /// stages and hypervisor audit events are recorded as structured
+    /// trace events (drain the tracer after the run). A disabled tracer
+    /// (the default) costs one branch per instrumentation point.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a metrics registry: at collection time the campaign
+    /// folds `campaign.*` counters and per-phase latency histograms
+    /// into it and embeds a snapshot in the report.
+    #[must_use]
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Runs every cell with the configured worker count. Exploit cells
     /// run on a stock build, injection cells on an injector build,
     /// exactly like the paper's setup; each cell gets a pristine world
@@ -510,6 +619,12 @@ impl Campaign {
             return CampaignReport::default();
         }
 
+        // Shard 0 of the trace belongs to campaign setup; cell i uses
+        // shard i + 1. Shard assignment is positional, so the trace's
+        // logical structure is independent of the worker count.
+        let setup_ctx = self.tracer.ctx(0);
+        let campaign_span = setup_ctx.span("campaign");
+
         // Boot each required (version, injector_enabled) base world once;
         // cells then start from clones instead of re-booting. A base
         // world that fails to boot (or panics the factory) poisons only
@@ -518,9 +633,31 @@ impl Campaign {
             BTreeMap::new();
         if self.config.reuse_snapshots {
             for &(_, version, mode) in &work {
-                snapshots.entry((version, mode == Mode::Injection)).or_insert_with(|| {
-                    boot_world(&self.factory, version, mode == Mode::Injection, self.config.retries)
-                        .0
+                let injector = mode == Mode::Injection;
+                snapshots.entry((version, injector)).or_insert_with(|| {
+                    let span = setup_ctx.span_with("campaign/snapshot_boot", || {
+                        vec![
+                            ("version".to_owned(), version.to_string()),
+                            ("injector".to_owned(), injector.to_string()),
+                        ]
+                    });
+                    let (world, attempts) =
+                        boot_world(&self.factory, version, injector, self.config.retries);
+                    if let Ok(world) = &world {
+                        obs_bridge::bridge_boot_stages(
+                            &setup_ctx,
+                            "campaign/snapshot_boot",
+                            world.boot_trace(),
+                        );
+                    }
+                    setup_ctx.point("campaign/snapshot_boot/result", 0, || {
+                        vec![
+                            ("attempts".to_owned(), attempts.to_string()),
+                            ("ok".to_owned(), world.is_ok().to_string()),
+                        ]
+                    });
+                    drop(span);
+                    world
                 });
             }
         }
@@ -540,8 +677,9 @@ impl Campaign {
                     let started = Instant::now();
                     *lock_recover(&slots[i]) = CellSlot::Running { started };
                     let snapshot = snapshots.get(&(version, mode == Mode::Injection));
+                    let ctx = self.tracer.ctx(i as u64 + 1);
                     let cell =
-                        self.run_cell_contained(&*self.use_cases[uc], version, mode, snapshot);
+                        self.run_cell_contained(&ctx, &*self.use_cases[uc], version, mode, snapshot);
                     let mut slot = lock_recover(&slots[i]);
                     // The watchdog may have abandoned this cell while it
                     // ran; a finished-but-late result is also re-labelled
@@ -551,10 +689,12 @@ impl Campaign {
                         .config
                         .cell_deadline
                         .is_some_and(|deadline| started.elapsed() > deadline);
-                    if !matches!(*slot, CellSlot::TimedOut) && !overran {
+                    if !matches!(*slot, CellSlot::TimedOut { .. }) && !overran {
                         *slot = CellSlot::Done(Box::new(cell));
                     } else {
-                        *slot = CellSlot::TimedOut;
+                        // Keep the finished cell's phase breakdown so the
+                        // timeout is attributable to boot/inject/monitor.
+                        *slot = CellSlot::TimedOut { phases: Some(cell.phase_us) };
                     }
                     drop(slot);
                     completed.fetch_add(1, Ordering::Release);
@@ -568,50 +708,78 @@ impl Campaign {
             }
         });
 
-        CampaignReport {
-            cells: work
-                .iter()
-                .zip(slots)
-                .map(|(&(uc, version, mode), slot)| {
-                    match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
-                        CellSlot::Done(cell) => *cell,
-                        CellSlot::TimedOut => {
-                            self.timed_out_cell(&*self.use_cases[uc], version, mode)
-                        }
-                        // Unreachable — cell bodies are contained, so a
-                        // worker always finalizes its slot — but a lost
-                        // slot degrades one cell, never the collection.
-                        CellSlot::Pending | CellSlot::Running { .. } => self.degraded_cell(
-                            &*self.use_cases[uc],
-                            version,
-                            mode,
-                            CampaignError::HarnessCrash {
-                                payload: "worker abandoned the cell".to_owned(),
-                            },
-                            1,
-                            0,
-                        ),
+        let cells: Vec<CellResult> = work
+            .iter()
+            .zip(slots)
+            .map(|(&(uc, version, mode), slot)| {
+                match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                    CellSlot::Done(cell) => *cell,
+                    CellSlot::TimedOut { phases } => {
+                        self.timed_out_cell(&*self.use_cases[uc], version, mode, phases)
                     }
-                })
-                .collect(),
+                    // Unreachable — cell bodies are contained, so a
+                    // worker always finalizes its slot — but a lost
+                    // slot degrades one cell, never the collection.
+                    CellSlot::Pending | CellSlot::Running { .. } => self.degraded_cell(
+                        &*self.use_cases[uc],
+                        version,
+                        mode,
+                        CampaignError::HarnessCrash {
+                            payload: "worker abandoned the cell".to_owned(),
+                        },
+                        1,
+                        0,
+                        PhaseTimings::default(),
+                    ),
+                }
+            })
+            .collect();
+        drop(campaign_span);
+        let mut report = CampaignReport { cells, metrics: None };
+        // Metrics fold in at collection time, after the slot-indexed
+        // cells are assembled: counter updates happen in report order,
+        // never in worker-scheduling order.
+        if let Some(registry) = &self.metrics {
+            obs_bridge::record_report_metrics(&report, registry);
+            report.metrics = Some(registry.snapshot());
         }
+        report
     }
 
     /// Runs one cell on the calling thread with panic containment
     /// around each phase: world acquisition, the scenario body, and
     /// monitoring. Never panics; every failure becomes a typed cell.
+    ///
+    /// Each phase runs under a trace span and records its wall-clock
+    /// duration in the cell's [`PhaseTimings`] — degraded cells too, so
+    /// a crash or timeout is attributable to the phase that ate the
+    /// time. Audit events the cell generated (everything past the
+    /// acquired world's baseline) are bridged into the trace before
+    /// every return.
     fn run_cell_contained(
         &self,
+        ctx: &TraceCtx,
         uc: &dyn UseCase,
         version: XenVersion,
         mode: Mode,
         snapshot: Option<&Result<World, CampaignError>>,
     ) -> CellResult {
         let start = Instant::now();
+        let mut phases = PhaseTimings::default();
+        let _cell_span = ctx.span_with("cell", || {
+            vec![
+                ("use_case".to_owned(), uc.name().to_owned()),
+                ("version".to_owned(), version.to_string()),
+                ("mode".to_owned(), mode.to_string()),
+            ]
+        });
         // Phase 1: world acquisition. `AssertUnwindSafe` is sound here:
         // the base snapshot is only read through `&` during `Clone`, and
         // a partially-cloned world is dropped inside the boundary — no
         // broken state can leak to other cells.
+        let boot_span = ctx.span("cell/boot");
+        let boot_start = Instant::now();
+        let fresh_boot = snapshot.is_none();
         let (world, attempts) = match snapshot {
             Some(Ok(base)) => (
                 catch_unwind(AssertUnwindSafe(|| base.clone())).map_err(|p| {
@@ -622,14 +790,34 @@ impl Campaign {
             Some(Err(e)) => (Err(e.clone()), 1),
             None => boot_world(&self.factory, version, mode == Mode::Injection, self.config.retries),
         };
+        phases.boot_us = Some(boot_start.elapsed().as_micros() as u64);
+        ctx.point("cell/boot/result", 0, || {
+            vec![
+                ("attempts".to_owned(), attempts.to_string()),
+                ("source".to_owned(), if fresh_boot { "boot" } else { "snapshot" }.to_owned()),
+                ("ok".to_owned(), world.is_ok().to_string()),
+            ]
+        });
+        drop(boot_span);
         let mut world = match world {
             Ok(world) => world,
             Err(error) => {
                 let wall = start.elapsed().as_micros() as u64;
-                return self.degraded_cell(uc, version, mode, error, attempts, wall);
+                return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
             }
         };
+        if fresh_boot {
+            obs_bridge::bridge_boot_stages(ctx, "cell/boot", world.boot_trace());
+        }
         let base_hypercalls = world.hv().hypercall_count();
+        // Audit events up to here belong to the world's boot (or to the
+        // snapshot it was cloned from); everything past this baseline is
+        // this cell's doing and gets bridged into its trace shard.
+        let audit_baseline = world.hv().audit().events().len();
+        let bridge_audit = |world: &World| {
+            let events = world.hv().audit().events();
+            obs_bridge::bridge_audit(ctx, events.get(audit_baseline..).unwrap_or(&[]));
+        };
         let Some(attacker) =
             world.domain_by_name(ATTACKER_GUEST).or_else(|| world.domains().last().copied())
         else {
@@ -638,41 +826,54 @@ impl Campaign {
                 attempts,
             };
             let wall = start.elapsed().as_micros() as u64;
-            return self.degraded_cell(uc, version, mode, error, attempts, wall);
+            return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
         };
 
         // Phase 2: the scenario body. The world is owned by this cell,
         // so a panicking exploit/injector takes only its own clone down.
-        let outcome = match catch_unwind(AssertUnwindSafe(|| match mode {
+        let inject_span = ctx.span("cell/inject");
+        let inject_start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match mode {
             Mode::Exploit => uc.run_exploit(&mut world, attacker),
             Mode::Injection => uc.run_injection(&mut world, attacker, &ArbitraryAccessInjector),
-        })) {
+        }));
+        phases.inject_us = Some(inject_start.elapsed().as_micros() as u64);
+        drop(inject_span);
+        let outcome = match outcome {
             Ok(outcome) => outcome,
             Err(p) => {
                 let error = CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) };
                 let wall = start.elapsed().as_micros() as u64;
-                return self.degraded_cell(uc, version, mode, error, attempts, wall);
+                bridge_audit(&world);
+                return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
             }
         };
 
         // Phase 3: monitoring, with per-detector containment — one
         // panicking detector costs its own observations, not the cell's.
-        let (observation, detector_failures) =
-            match catch_unwind(AssertUnwindSafe(|| uc.monitor(&world, attacker).observe_contained(&world)))
-            {
-                Ok(observed) => observed,
-                Err(p) => {
-                    let error = CampaignError::Monitor { message: panic_payload(p.as_ref()) };
-                    let wall = start.elapsed().as_micros() as u64;
-                    return self.degraded_cell(uc, version, mode, error, attempts, wall);
-                }
-            };
+        let monitor_span = ctx.span("cell/monitor");
+        let monitor_start = Instant::now();
+        let observed = catch_unwind(AssertUnwindSafe(|| {
+            uc.monitor(&world, attacker).observe_contained(&world)
+        }));
+        phases.monitor_us = Some(monitor_start.elapsed().as_micros() as u64);
+        drop(monitor_span);
+        let (observation, detector_failures) = match observed {
+            Ok(observed) => observed,
+            Err(p) => {
+                let error = CampaignError::Monitor { message: panic_payload(p.as_ref()) };
+                let wall = start.elapsed().as_micros() as u64;
+                bridge_audit(&world);
+                return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
+            }
+        };
         let error = if detector_failures.is_empty() {
             outcome.error.map(|message| CampaignError::Injection { message })
         } else {
             Some(CampaignError::Monitor { message: detector_failures.join("; ") })
         };
 
+        bridge_audit(&world);
         let handled = outcome.erroneous_state && observation.is_clean();
         CellResult {
             use_case: uc.name().to_owned(),
@@ -688,11 +889,15 @@ impl Campaign {
             attempts,
             wall_time_us: 0, // patched below, after the clock stops
             hypercalls: world.hv().hypercall_count().saturating_sub(base_hypercalls),
+            phase_us: phases,
         }
         .with_wall_time(start.elapsed().as_micros() as u64)
     }
 
     /// A cell record for a harness failure (boot / crash / monitor).
+    // Private helper mirroring the cell-result fields one-to-one; a
+    // params struct would just restate `CellResult`.
+    #[allow(clippy::too_many_arguments)]
     fn degraded_cell(
         &self,
         uc: &dyn UseCase,
@@ -701,6 +906,7 @@ impl Campaign {
         error: CampaignError,
         attempts: u32,
         wall_time_us: u64,
+        phases: PhaseTimings,
     ) -> CellResult {
         let cell_id =
             || CellId { use_case: uc.name().to_owned(), version, mode };
@@ -731,11 +937,21 @@ impl Campaign {
             attempts,
             wall_time_us,
             hypercalls: 0,
+            phase_us: phases,
         }
     }
 
-    /// A cell record for a watchdog-abandoned cell.
-    fn timed_out_cell(&self, uc: &dyn UseCase, version: XenVersion, mode: Mode) -> CellResult {
+    /// A cell record for a watchdog-abandoned cell. `phases` carries the
+    /// per-phase timings when the worker eventually finished (so the
+    /// overrun is attributable to boot vs inject vs monitor); `None`
+    /// means the worker was still stuck at collection time.
+    fn timed_out_cell(
+        &self,
+        uc: &dyn UseCase,
+        version: XenVersion,
+        mode: Mode,
+        phases: Option<PhaseTimings>,
+    ) -> CellResult {
         let deadline_us =
             self.config.cell_deadline.map_or(0, |d| d.as_micros() as u64);
         let mut cell = self.degraded_cell(
@@ -745,6 +961,7 @@ impl Campaign {
             CampaignError::Deadline { deadline_us },
             1,
             deadline_us,
+            phases.unwrap_or_default(),
         );
         cell.outcome = CellOutcome::TimedOut { deadline_us };
         cell
@@ -758,7 +975,9 @@ enum CellSlot {
     /// A worker entered the cell body at `started`.
     Running { started: Instant },
     /// The watchdog (or the worker's own post-check) abandoned the cell.
-    TimedOut,
+    /// `phases` is filled in by the worker when it finishes late, so the
+    /// deadline overrun is attributable to a specific phase.
+    TimedOut { phases: Option<PhaseTimings> },
     /// The cell finished in time.
     Done(Box<CellResult>),
 }
@@ -813,7 +1032,7 @@ fn watchdog(
             let mut slot = lock_recover(slot);
             if let CellSlot::Running { started } = *slot {
                 if started.elapsed() > deadline {
-                    *slot = CellSlot::TimedOut;
+                    *slot = CellSlot::TimedOut { phases: None };
                 }
             }
         }
@@ -987,6 +1206,70 @@ mod tests {
         assert_eq!(t.completed_cells, report.cells().len(), "clean run: all cells complete");
         assert_eq!(t.degraded_cells, 0);
         assert!((t.cells_per_sec - t.completed_cells as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cells_record_phase_timings() {
+        let report = Campaign::new().with_use_case(Box::new(CrashCase)).run();
+        for c in report.cells() {
+            assert!(c.phase_us.boot_us.is_some(), "boot phase timed on {}", c.version);
+            assert!(c.phase_us.inject_us.is_some(), "inject phase timed on {}", c.version);
+            assert!(c.phase_us.monitor_us.is_some(), "monitor phase timed on {}", c.version);
+        }
+        // Normalization keeps phase presence but zeroes the durations.
+        for c in report.normalized().cells() {
+            assert_eq!(c.phase_us.boot_us, Some(0));
+            assert_eq!(c.phase_us.inject_us, Some(0));
+            assert_eq!(c.phase_us.monitor_us, Some(0));
+        }
+        let t = CampaignThroughput::new(&report, 1, 1_000_000);
+        assert_eq!(t.latency.boot.completed.count as usize, report.cells().len());
+        assert_eq!(t.latency.monitor.degraded.count, 0, "clean run: no degraded latencies");
+    }
+
+    #[test]
+    fn tracer_and_metrics_capture_the_campaign() {
+        let tracer = Tracer::enabled();
+        let registry = MetricsRegistry::new();
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .tracer(tracer.clone())
+            .metrics(registry.clone())
+            .run_with_jobs(2);
+        let events = tracer.drain();
+        assert!(!events.is_empty());
+        let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"campaign"), "root span missing: {paths:?}");
+        assert!(paths.contains(&"campaign/snapshot_boot"));
+        assert!(paths.contains(&"cell"));
+        assert!(paths.contains(&"cell/boot"));
+        assert!(paths.contains(&"cell/inject"));
+        assert!(paths.contains(&"cell/monitor"));
+        assert!(
+            paths.iter().any(|p| p.starts_with("audit/")),
+            "audit events should be bridged: {paths:?}"
+        );
+        // The campaign folded its own counters into the registry and
+        // embedded the snapshot in the report.
+        let snapshot = report.metrics().expect("metrics snapshot attached");
+        let cells = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == crate::obs_bridge::M_CELLS)
+            .expect("campaign.cells counter");
+        assert_eq!(cells.value as usize, report.cells().len());
+        let hypercalls = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == crate::obs_bridge::M_HYPERCALLS)
+            .expect("campaign.hypercalls counter");
+        assert_eq!(hypercalls.value, report.total_hypercalls());
+        assert!(
+            snapshot.histograms.iter().any(|h| h.name == "campaign.boot_us.completed"),
+            "phase histograms snapshotted"
+        );
+        // A second drain sees nothing: drain clears the sink.
+        assert!(tracer.drain().is_empty());
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod error;
 pub mod injector;
 pub mod model;
 pub mod monitor;
+pub mod obs_bridge;
 pub mod randomized;
 pub mod report;
 pub mod scenario;
@@ -92,7 +93,7 @@ pub use avi::{ThreatChain, ThreatLink, ThreatStage};
 pub use benchmark::{SecurityAttribute, SecurityBenchmark, VersionScore};
 pub use campaign::{
     default_jobs, Campaign, CampaignConfig, CampaignReport, CampaignThroughput, CellResult,
-    WorldFactory,
+    LatencyBreakdown, PhaseLatency, PhaseTimings, WorldFactory,
 };
 pub use error::{panic_payload, CampaignError, CellId, CellOutcome};
 pub use erroneous_state::{ErroneousStateSpec, StateAudit};

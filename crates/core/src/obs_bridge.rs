@@ -1,0 +1,133 @@
+//! Adapters between the simulator's existing evidence streams and the
+//! `hvsim-obs` layer.
+//!
+//! The hypervisor's [`AuditLog`](hvsim::AuditLog) and the guest's boot
+//! trace are recorded *inside the world* regardless of observability
+//! settings; this module is the single place where those records are
+//! re-emitted as trace events, so neither `hvsim` nor `guestos` grows a
+//! dependency on the obs crate and no event is ever counted twice.
+
+use crate::campaign::{CampaignReport, CellResult};
+use guestos::BootStage;
+use hvsim::AuditEvent;
+use hvsim_obs::{Histogram, MetricsRegistry, TraceCtx};
+
+/// Counter: cells the campaign scheduled.
+pub const M_CELLS: &str = "campaign.cells";
+/// Counter: cells that completed cleanly.
+pub const M_CELLS_COMPLETED: &str = "campaign.cells_completed";
+/// Counter: cells on which the harness degraded.
+pub const M_CELLS_DEGRADED: &str = "campaign.cells_degraded";
+/// Counter: extra boot attempts consumed by transient-failure retries.
+pub const M_RETRIES: &str = "campaign.retries";
+/// Counter: cells abandoned at the per-cell deadline.
+pub const M_TIMEOUTS: &str = "campaign.timeouts";
+/// Counter: cells whose world never booted.
+pub const M_BOOT_FAILURES: &str = "campaign.boot_failures";
+/// Counter: cells where a panic escaped the cell body.
+pub const M_CRASHES: &str = "campaign.crashes";
+/// Counter: hypercalls executed across all cells — the registry-backed
+/// successor to summing the per-cell `hypercalls` report field.
+pub const M_HYPERCALLS: &str = "campaign.hypercalls";
+
+/// Re-emits hypervisor audit events as trace points under
+/// `audit/<kind>`, one per event, with the human-readable rendering in
+/// the `detail` attribute. Callers pass the slice *after* their
+/// baseline index so world-boot events are not re-attributed to the
+/// cell that merely cloned the world.
+pub fn bridge_audit(ctx: &TraceCtx, events: &[AuditEvent]) {
+    if !ctx.is_enabled() {
+        return;
+    }
+    for event in events {
+        ctx.point(&format!("audit/{}", event.kind()), 0, || {
+            vec![("detail".to_owned(), event.to_string())]
+        });
+    }
+}
+
+/// Re-emits the guest boot trace as points under `<parent>/<stage>`,
+/// carrying each stage's externally measured duration in `wall_us`.
+pub fn bridge_boot_stages(ctx: &TraceCtx, parent: &str, stages: &[BootStage]) {
+    if !ctx.is_enabled() {
+        return;
+    }
+    for stage in stages {
+        ctx.point(&format!("{parent}/{}", stage.stage), stage.wall_us, Vec::new);
+    }
+}
+
+fn phase_histograms(
+    registry: &MetricsRegistry,
+    name: &str,
+    cells: &[&CellResult],
+    value: impl Fn(&CellResult) -> Option<u64>,
+) {
+    for cell in cells {
+        if let Some(v) = value(cell) {
+            registry.observe(name, v);
+        }
+    }
+}
+
+/// Folds a finished report into the registry: the `campaign.*` counters
+/// plus per-phase latency histograms split by completed vs degraded.
+/// Called once at collection time (deterministic — no worker-thread
+/// interleaving can reorder counter updates).
+pub fn record_report_metrics(report: &CampaignReport, registry: &MetricsRegistry) {
+    let cells = report.cells();
+    registry.add(M_CELLS, cells.len() as u64);
+    registry.add(M_CELLS_COMPLETED, report.completed_cells().count() as u64);
+    registry.add(M_CELLS_DEGRADED, report.degraded_cells().count() as u64);
+    registry.add(M_RETRIES, cells.iter().map(|c| u64::from(c.attempts.saturating_sub(1))).sum());
+    registry.add(
+        M_TIMEOUTS,
+        cells
+            .iter()
+            .filter(|c| matches!(c.outcome, crate::error::CellOutcome::TimedOut { .. }))
+            .count() as u64,
+    );
+    registry.add(
+        M_BOOT_FAILURES,
+        cells
+            .iter()
+            .filter(|c| matches!(c.outcome, crate::error::CellOutcome::BootFailed))
+            .count() as u64,
+    );
+    registry.add(
+        M_CRASHES,
+        cells
+            .iter()
+            .filter(|c| matches!(c.outcome, crate::error::CellOutcome::Crashed { .. }))
+            .count() as u64,
+    );
+    registry.add(M_HYPERCALLS, report.total_hypercalls());
+    let completed: Vec<&CellResult> = report.completed_cells().collect();
+    let degraded: Vec<&CellResult> = report.degraded_cells().collect();
+    for (suffix, group) in [("completed", &completed), ("degraded", &degraded)] {
+        phase_histograms(registry, &format!("campaign.boot_us.{suffix}"), group, |c| {
+            c.phase_us.boot_us
+        });
+        phase_histograms(registry, &format!("campaign.inject_us.{suffix}"), group, |c| {
+            c.phase_us.inject_us
+        });
+        phase_histograms(registry, &format!("campaign.monitor_us.{suffix}"), group, |c| {
+            c.phase_us.monitor_us
+        });
+    }
+}
+
+/// Builds one phase histogram summary directly from report cells — the
+/// path `CampaignThroughput` uses for `BENCH_campaign.json`.
+pub fn phase_summary<'a>(
+    cells: impl Iterator<Item = &'a CellResult>,
+    value: impl Fn(&CellResult) -> Option<u64>,
+) -> hvsim_obs::HistogramSummary {
+    let mut histogram = Histogram::new();
+    for cell in cells {
+        if let Some(v) = value(cell) {
+            histogram.record(v);
+        }
+    }
+    histogram.summary()
+}

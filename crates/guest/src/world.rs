@@ -18,6 +18,20 @@ use hvsim_mem::{DomainId, VirtAddr, PAGE_SIZE};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
+
+/// Wall-clock timing of one boot stage, recorded by
+/// [`WorldBuilder::build`]. Stage names match the stage tags carried by
+/// [`BootError`], so a trace and a boot failure speak the same
+/// vocabulary. Timings are observability data only — nothing
+/// deterministic may depend on them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BootStage {
+    /// Stage name (e.g. `"boot dom0 kernel"`).
+    pub stage: &'static str,
+    /// Stage duration in microseconds.
+    pub wall_us: u64,
+}
 
 /// Errors from world-level operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -214,6 +228,15 @@ impl WorldBuilder {
     /// failures (`-ENOMEM`/`-EBUSY`) are marked retryable for the
     /// campaign's retry policy.
     pub fn build(self) -> Result<World, BootError> {
+        let mut boot_trace: Vec<BootStage> = Vec::new();
+        let mut stage_start = Instant::now();
+        let mut mark = |trace: &mut Vec<BootStage>, stage: &'static str| {
+            trace.push(BootStage {
+                stage,
+                wall_us: stage_start.elapsed().as_micros() as u64,
+            });
+            stage_start = Instant::now();
+        };
         let mut hv = Hypervisor::new(
             BuildConfig::new(self.version)
                 .injector(self.injector)
@@ -222,9 +245,11 @@ impl WorldBuilder {
         let dom0 = hv
             .create_domain("xen3", true, self.dom0_pages)
             .map_err(|e| BootError::from_world("create dom0", e.into()))?;
+        mark(&mut boot_trace, "create dom0");
         let mut kernels = BTreeMap::new();
         let mut k0 = GuestKernel::boot(&mut hv, dom0)
             .map_err(|e| BootError::from_world("boot dom0 kernel", e.into()))?;
+        mark(&mut boot_trace, "boot dom0 kernel");
         // dom0 runs a root process that periodically calls the vDSO (the
         // hook the XSA-148 backdoor fires through) and holds the secret
         // the paper's reverse-shell transcript reads.
@@ -238,20 +263,24 @@ impl WorldBuilder {
             )
             .map_err(|e| BootError::from_world("seed dom0 filesystem", e.into()))?;
         kernels.insert(dom0, k0);
+        mark(&mut boot_trace, "seed dom0 filesystem");
         for (name, pages) in &self.guests {
             let dom = hv
                 .create_domain(name, false, *pages)
                 .map_err(|e| BootError::from_world("create guest", e.into()))?;
+            mark(&mut boot_trace, "create guest");
             let mut k = GuestKernel::boot(&mut hv, dom)
                 .map_err(|e| BootError::from_world("boot guest kernel", e.into()))?;
             k.spawn("bash", Uid::new(1000), true);
             kernels.insert(dom, k);
+            mark(&mut boot_trace, "boot guest kernel");
         }
         Ok(World {
             hv,
             dom0,
             kernels,
             remote: RemoteHost::new(&self.remote_host, self.remote_port),
+            boot_trace,
         })
     }
 }
@@ -263,12 +292,20 @@ pub struct World {
     dom0: DomainId,
     kernels: BTreeMap<DomainId, GuestKernel>,
     remote: RemoteHost,
+    boot_trace: Vec<BootStage>,
 }
 
 impl World {
     /// The hypervisor.
     pub fn hv(&self) -> &Hypervisor {
         &self.hv
+    }
+
+    /// Per-stage boot timings recorded by [`WorldBuilder::build`]
+    /// (bridged into trace streams by the campaign; cloned worlds keep
+    /// the original boot's timings).
+    pub fn boot_trace(&self) -> &[BootStage] {
+        &self.boot_trace
     }
 
     /// Mutable hypervisor access (hypercalls are `&mut`).
@@ -546,6 +583,26 @@ mod tests {
         assert!(w.hv().domain(w.dom0()).unwrap().is_privileged());
         assert_eq!(w.domain_by_name("xen2"), Some(w.domains()[1]));
         assert!(w.kernel(w.dom0()).unwrap().vfs().exists("/root/root_msg"));
+    }
+
+    #[test]
+    fn boot_trace_records_every_stage_in_order() {
+        let w = small_world(XenVersion::V4_6);
+        let stages: Vec<&str> = w.boot_trace().iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                "create dom0",
+                "boot dom0 kernel",
+                "seed dom0 filesystem",
+                "create guest",
+                "boot guest kernel",
+                "create guest",
+                "boot guest kernel",
+            ]
+        );
+        // Clones keep the original boot's timings.
+        assert_eq!(w.clone().boot_trace(), w.boot_trace());
     }
 
     #[test]

@@ -106,6 +106,25 @@ pub enum AuditEvent {
     },
 }
 
+impl AuditEvent {
+    /// Stable kebab-case kind label, used as the span-path suffix when
+    /// audit events are bridged into a trace stream (one adapter in
+    /// `intrusion-core` — downstream code matches on this instead of
+    /// re-implementing the variant bookkeeping).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditEvent::Hypercall { .. } => "hypercall",
+            AuditEvent::ValidationRejected { .. } => "validation-rejected",
+            AuditEvent::PteWritten { .. } => "pte-written",
+            AuditEvent::HypervisorWrite { .. } => "hypervisor-write",
+            AuditEvent::Exception { .. } => "exception",
+            AuditEvent::Crash { .. } => "crash",
+            AuditEvent::InjectorAccess { .. } => "injector-access",
+            AuditEvent::DanglingReference { .. } => "dangling-reference",
+        }
+    }
+}
+
 impl fmt::Display for AuditEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -246,5 +265,19 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("injector"));
         assert!(s.contains("dom3"));
+    }
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        let e = AuditEvent::Hypercall { dom: DomainId::DOM0, name: "mmu_update", result: 0 };
+        assert_eq!(e.kind(), "hypercall");
+        let e = AuditEvent::Crash { message: "DOUBLE FAULT".into() };
+        assert_eq!(e.kind(), "crash");
+        let e = AuditEvent::DanglingReference {
+            dom: DomainId::DOM0,
+            mfn: Mfn::new(7),
+            detail: "x".into(),
+        };
+        assert_eq!(e.kind(), "dangling-reference");
     }
 }

@@ -1,0 +1,309 @@
+//! The metrics registry: named counters and fixed-bucket latency
+//! histograms.
+//!
+//! Counters are exact and deterministic for a fixed workload; histogram
+//! *values* (quantiles, max) are wall-clock derived and therefore
+//! excluded by [`MetricsSnapshot::normalized`], while histogram *counts*
+//! remain — a campaign always observes the same number of boots no
+//! matter how they were scheduled.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Number of power-of-two buckets. Bucket `i` (for `i > 0`) covers
+/// values in `[2^(i-1), 2^i)`; bucket 0 covers exactly 0. 40 buckets
+/// reach ~2^39 µs ≈ 6 days, far beyond any cell deadline.
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram over microsecond values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+// Not derived: array `Default` impls stop at 32 elements.
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        // bit length of the value, capped to the last bucket.
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value_us: u64) {
+        self.buckets[Self::bucket_index(value_us)] += 1;
+        self.count += 1;
+        self.max = self.max.max(value_us);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound of the bucket containing the `q` quantile (`max` is
+    /// exact; p50/p95 are bucket-resolution approximations).
+    fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram into the summary serialized in reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            p50_us: self.quantile_upper(0.50),
+            p95_us: self.quantile_upper(0.95),
+            max_us: self.max,
+        }
+    }
+}
+
+/// p50/p95/max summary of a [`Histogram`], as serialized into
+/// `CampaignReport` and `BENCH_campaign.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Observations recorded (deterministic).
+    pub count: u64,
+    /// Median latency, rounded up to its bucket boundary.
+    pub p50_us: u64,
+    /// 95th-percentile latency, rounded up to its bucket boundary.
+    pub p95_us: u64,
+    /// Largest observed latency (exact).
+    pub max_us: u64,
+}
+
+impl HistogramSummary {
+    /// The summary with wall-clock-derived fields zeroed; `count`
+    /// survives because it is schedule-independent.
+    pub fn normalized(self) -> Self {
+        Self { count: self.count, p50_us: 0, p95_us: 0, max_us: 0 }
+    }
+}
+
+/// One named counter in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Counter name, e.g. `"campaign.hypercalls"`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One named histogram in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Histogram name, e.g. `"campaign.boot_us.completed"`.
+    pub name: String,
+    /// p50/p95/max/count summary.
+    pub summary: HistogramSummary,
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histogram summaries, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot with wall-clock-derived histogram fields zeroed.
+    /// Counter values and histogram counts survive: both are exact
+    /// tallies of deterministic events.
+    pub fn normalized(&self) -> Self {
+        Self {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| HistogramSnapshot { name: h.name.clone(), summary: h.summary.normalized() })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A shared registry of named counters and histograms.
+///
+/// Cloning is cheap and clones share state, so one registry can be
+/// handed to the campaign, the CLI and a bench harness simultaneously.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut counters = lock_recover(&self.inner.counters);
+        *counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Records a latency observation into the named histogram.
+    pub fn observe(&self, name: &str, value_us: u64) {
+        let mut histograms = lock_recover(&self.inner.histograms);
+        histograms.entry(name.to_owned()).or_default().record(value_us);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock_recover(&self.inner.counters).get(name).copied().unwrap_or(0)
+    }
+
+    /// Copies the registry into a name-sorted snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = lock_recover(&self.inner.counters)
+            .iter()
+            .map(|(name, &value)| CounterSnapshot { name: name.clone(), value })
+            .collect();
+        let histograms = lock_recover(&self.inner.histograms)
+            .iter()
+            .map(|(name, h)| HistogramSnapshot { name: name.clone(), summary: h.summary() })
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+
+    /// Clears all counters and histograms.
+    pub fn clear(&self) {
+        lock_recover(&self.inner.counters).clear();
+        lock_recover(&self.inner.histograms).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.add("campaign.cells", 18);
+        reg.add("campaign.cells", 2);
+        assert_eq!(reg.counter("campaign.cells"), 20);
+        assert_eq!(reg.counter("missing"), 0);
+        let clone = reg.clone();
+        clone.add("campaign.cells", 1);
+        assert_eq!(reg.counter("campaign.cells"), 21, "clones share state");
+    }
+
+    #[test]
+    fn histogram_buckets_and_summary() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max_us, 1_000_000);
+        // p50 of 7 values = 4th smallest (3), bucketed into [2,4) -> 3.
+        assert_eq!(s.p50_us, 3);
+        assert!(s.p95_us >= 1000);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.max_us);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        assert_eq!(Histogram::new().summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_value_summary_is_exact() {
+        let mut h = Histogram::new();
+        h.record(500);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        // Bucket upper would be 511; min(max) clamps it to the exact max.
+        assert_eq!(s.p50_us, 500);
+        assert_eq!(s.p95_us, 500);
+        assert_eq!(s.max_us, 500);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_normalizes() {
+        let reg = MetricsRegistry::new();
+        reg.add("z.counter", 1);
+        reg.add("a.counter", 2);
+        reg.observe("z.lat_us", 100);
+        reg.observe("a.lat_us", 7);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.counter", "z.counter"]);
+        let hnames: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hnames, vec!["a.lat_us", "z.lat_us"]);
+        let norm = snap.normalized();
+        assert_eq!(norm.counters, snap.counters);
+        assert_eq!(norm.histograms[0].summary, HistogramSummary { count: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let reg = MetricsRegistry::new();
+        reg.add("campaign.retries", 3);
+        reg.observe("campaign.boot_us.completed", 1234);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let reg = MetricsRegistry::new();
+        reg.add("c", 1);
+        reg.observe("h", 1);
+        reg.clear();
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    }
+}

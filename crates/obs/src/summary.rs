@@ -1,0 +1,266 @@
+//! Trace profiling: flamegraph-style aggregation by span path plus a
+//! top-N slowest-cells table — what `trace summary` renders.
+//!
+//! Self-time is computed per span instance as its wall-clock duration
+//! minus the durations of its *direct* child spans, then aggregated by
+//! path. Point events contribute their own `wall_us` (bridged external
+//! durations) without being subtracted from any parent.
+
+use crate::trace::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Span or point path (e.g. `"cell/inject"`).
+    pub path: String,
+    /// Number of span instances (or point occurrences).
+    pub count: u64,
+    /// Total wall-clock microseconds across instances.
+    pub total_us: u64,
+    /// Total minus time attributed to direct children.
+    pub self_us: u64,
+}
+
+/// Wall-clock duration of one root `cell` span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellTiming {
+    /// The cell's logical shard id.
+    pub shard: u64,
+    /// Human-readable label built from the span's attributes.
+    pub label: String,
+    /// The cell span's wall-clock duration.
+    pub wall_us: u64,
+}
+
+/// The computed profile of a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events consumed.
+    pub events: usize,
+    /// Distinct logical shards seen.
+    pub shards: usize,
+    /// Per-path aggregation, sorted by self-time (descending).
+    pub rows: Vec<SummaryRow>,
+    /// All root `cell` spans, slowest first.
+    pub slowest_cells: Vec<CellTiming>,
+}
+
+struct OpenSpan {
+    path: String,
+    child_us: u64,
+    depth_zero: bool,
+    cell_attrs: Option<Vec<(String, String)>>,
+}
+
+fn cell_label(attrs: &[(String, String)]) -> String {
+    let get = |key: &str| {
+        attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    match (get("use_case"), get("version"), get("mode")) {
+        (Some(uc), Some(ver), Some(mode)) => format!("{uc} / Xen {ver} / {mode}"),
+        _ if !attrs.is_empty() => attrs
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => "cell".to_owned(),
+    }
+}
+
+impl TraceSummary {
+    /// Aggregates a trace. Events may arrive in any order; they are
+    /// grouped by shard and replayed in logical-clock order. Unclosed
+    /// spans (a trace cut off mid-run) are counted with zero duration.
+    pub fn compute(events: &[TraceEvent]) -> Self {
+        let mut by_shard: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+        for event in events {
+            by_shard.entry(event.shard).or_default().push(event);
+        }
+        fn row<'a>(rows: &'a mut BTreeMap<String, SummaryRow>, path: &str) -> &'a mut SummaryRow {
+            rows.entry(path.to_owned()).or_insert_with(|| SummaryRow {
+                path: path.to_owned(),
+                ..SummaryRow::default()
+            })
+        }
+        let mut rows: BTreeMap<String, SummaryRow> = BTreeMap::new();
+        let mut cells: Vec<CellTiming> = Vec::new();
+        for (&shard, shard_events) in &mut by_shard {
+            shard_events.sort_by_key(|e| e.seq);
+            let mut stack: Vec<OpenSpan> = Vec::new();
+            for event in shard_events.iter() {
+                match event.kind {
+                    EventKind::SpanEnter => stack.push(OpenSpan {
+                        path: event.path.clone(),
+                        child_us: 0,
+                        depth_zero: stack.is_empty(),
+                        cell_attrs: (event.path == "cell").then(|| event.attrs.clone()),
+                    }),
+                    EventKind::SpanExit => {
+                        let Some(open) = stack.pop() else { continue };
+                        let duration = event.wall_us;
+                        let entry = row(&mut rows, &open.path);
+                        entry.count += 1;
+                        entry.total_us += duration;
+                        entry.self_us += duration.saturating_sub(open.child_us);
+                        if let Some(parent) = stack.last_mut() {
+                            parent.child_us += duration;
+                        }
+                        if open.depth_zero {
+                            if let Some(attrs) = &open.cell_attrs {
+                                cells.push(CellTiming {
+                                    shard,
+                                    label: cell_label(attrs),
+                                    wall_us: duration,
+                                });
+                            }
+                        }
+                    }
+                    EventKind::Point => {
+                        let entry = row(&mut rows, &event.path);
+                        entry.count += 1;
+                        entry.total_us += event.wall_us;
+                        entry.self_us += event.wall_us;
+                    }
+                }
+            }
+            // Spans left open (trace truncated): count the instance so
+            // the profile does not silently lose it.
+            for open in stack {
+                row(&mut rows, &open.path).count += 1;
+            }
+        }
+        let shards = by_shard.len();
+        let mut rows: Vec<SummaryRow> = rows.into_values().collect();
+        rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+        cells.sort_by(|a, b| b.wall_us.cmp(&a.wall_us).then_with(|| a.shard.cmp(&b.shard)));
+        Self { events: events.len(), shards, rows, slowest_cells: cells }
+    }
+
+    /// Renders the profile as fixed-width text, listing at most `top_n`
+    /// slowest cells.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace summary: {} events across {} shards", self.events, self.shards);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "per-path self-time profile");
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.path.chars().count())
+            .chain(std::iter::once("path".len()))
+            .max()
+            .unwrap_or(4)
+            .min(60);
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>7}  {:>12}  {:>12}",
+            "path", "count", "total_us", "self_us",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>7}  {:>12}  {:>12}",
+                r.path, r.count, r.total_us, r.self_us,
+            );
+        }
+        let _ = writeln!(out);
+        let shown = self.slowest_cells.len().min(top_n);
+        let _ = writeln!(out, "top {shown} slowest cells (of {})", self.slowest_cells.len());
+        if shown == 0 {
+            let _ = writeln!(out, "  (no cell spans in trace)");
+        }
+        for cell in self.slowest_cells.iter().take(top_n) {
+            let _ = writeln!(out, "  {:>12} us  {}  [shard {}]", cell.wall_us, cell.label, cell.shard);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(shard: u64, seq: u64, kind: EventKind, path: &str, wall_us: u64) -> TraceEvent {
+        TraceEvent { shard, seq, kind, path: path.into(), wall_us, attrs: Vec::new() }
+    }
+
+    fn cell_enter(shard: u64, seq: u64, uc: &str, ver: &str, mode: &str) -> TraceEvent {
+        TraceEvent {
+            shard,
+            seq,
+            kind: EventKind::SpanEnter,
+            path: "cell".into(),
+            wall_us: 0,
+            attrs: vec![
+                ("use_case".into(), uc.into()),
+                ("version".into(), ver.into()),
+                ("mode".into(), mode.into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let events = vec![
+            cell_enter(1, 0, "UC", "4.6", "exploit"),
+            ev(1, 1, EventKind::SpanEnter, "cell/boot", 0),
+            ev(1, 2, EventKind::SpanExit, "cell/boot", 30),
+            ev(1, 3, EventKind::SpanEnter, "cell/inject", 0),
+            ev(1, 4, EventKind::SpanExit, "cell/inject", 50),
+            ev(1, 5, EventKind::SpanExit, "cell", 100),
+        ];
+        let s = TraceSummary::compute(&events);
+        let cell = s.rows.iter().find(|r| r.path == "cell").unwrap();
+        assert_eq!((cell.count, cell.total_us, cell.self_us), (1, 100, 20));
+        let boot = s.rows.iter().find(|r| r.path == "cell/boot").unwrap();
+        assert_eq!((boot.total_us, boot.self_us), (30, 30));
+        assert_eq!(s.slowest_cells.len(), 1);
+        assert_eq!(s.slowest_cells[0].label, "UC / Xen 4.6 / exploit");
+        assert_eq!(s.slowest_cells[0].wall_us, 100);
+    }
+
+    #[test]
+    fn slowest_cells_sorted_with_shard_tiebreak() {
+        let mut events = Vec::new();
+        for (shard, wall) in [(1, 50), (2, 90), (3, 50)] {
+            events.push(cell_enter(shard, 0, "UC", "4.8", "injection"));
+            events.push(ev(shard, 1, EventKind::SpanExit, "cell", wall));
+        }
+        let s = TraceSummary::compute(&events);
+        let order: Vec<(u64, u64)> = s.slowest_cells.iter().map(|c| (c.shard, c.wall_us)).collect();
+        assert_eq!(order, vec![(2, 90), (1, 50), (3, 50)]);
+        let rendered = s.render(2);
+        assert!(rendered.contains("top 2 slowest cells (of 3)"));
+        assert!(rendered.contains("UC / Xen 4.8 / injection"));
+    }
+
+    #[test]
+    fn points_count_without_parent_subtraction() {
+        let events = vec![
+            ev(0, 0, EventKind::SpanEnter, "campaign", 0),
+            ev(0, 1, EventKind::Point, "audit/hypercall", 0),
+            ev(0, 2, EventKind::Point, "audit/hypercall", 0),
+            ev(0, 3, EventKind::SpanExit, "campaign", 40),
+        ];
+        let s = TraceSummary::compute(&events);
+        let audit = s.rows.iter().find(|r| r.path == "audit/hypercall").unwrap();
+        assert_eq!(audit.count, 2);
+        let campaign = s.rows.iter().find(|r| r.path == "campaign").unwrap();
+        assert_eq!(campaign.self_us, 40, "points do not steal parent self-time");
+    }
+
+    #[test]
+    fn truncated_trace_counts_open_spans() {
+        let events = vec![ev(5, 0, EventKind::SpanEnter, "cell", 0)];
+        let s = TraceSummary::compute(&events);
+        let cell = s.rows.iter().find(|r| r.path == "cell").unwrap();
+        assert_eq!((cell.count, cell.total_us), (1, 0));
+        assert!(s.slowest_cells.is_empty());
+        assert!(s.render(5).contains("no cell spans"));
+    }
+}
