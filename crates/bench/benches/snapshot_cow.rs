@@ -1,0 +1,55 @@
+//! Copy-on-write snapshot cost: cloning a booted world's machine memory
+//! must be a refcount sweep (one `Arc` bump per materialized frame),
+//! not a page-by-page copy. The acceptance floor for this PR is a ≥10×
+//! win of `MachineMemory::clone` over `deep_copy` on the standard
+//! 4096-frame world.
+
+use bench::attack_world;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvsim::XenVersion;
+use std::hint::black_box;
+
+fn bench_cow_clone(c: &mut Criterion) {
+    let (world, _) = attack_world(XenVersion::V4_8, true);
+    let mem = world.hv().mem();
+    c.bench_function("snapshot_cow/cow_clone", |b| b.iter(|| black_box(mem.clone())));
+}
+
+fn bench_deep_copy(c: &mut Criterion) {
+    // The pre-COW baseline: every materialized frame gets a fresh 4 KiB
+    // allocation. This is what `clone` used to cost.
+    let (world, _) = attack_world(XenVersion::V4_8, true);
+    let mem = world.hv().mem();
+    c.bench_function("snapshot_cow/deep_copy", |b| b.iter(|| black_box(mem.deep_copy())));
+}
+
+fn bench_world_clone(c: &mut Criterion) {
+    // The campaign's actual snapshot operation: the whole world,
+    // dominated by the machine-memory clone.
+    let (world, _) = attack_world(XenVersion::V4_8, true);
+    c.bench_function("snapshot_cow/world_clone", |b| b.iter(|| black_box(world.clone())));
+}
+
+fn bench_first_write_after_clone(c: &mut Criterion) {
+    // Cost of privatizing one frame after a snapshot: the COW fault
+    // path (one page copy) plus the write itself.
+    let (world, _) = attack_world(XenVersion::V4_8, true);
+    let base = world.hv().mem();
+    let frame = hvsim_mem::Mfn::new(8);
+    c.bench_function("snapshot_cow/first_write_after_clone", |b| {
+        b.iter(|| {
+            let mut snap = base.clone();
+            snap.write(frame.base(), black_box(&[0xAAu8; 64])).unwrap();
+            black_box(snap)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cow_clone,
+    bench_deep_copy,
+    bench_world_clone,
+    bench_first_write_after_clone
+);
+criterion_main!(benches);

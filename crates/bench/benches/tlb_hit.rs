@@ -1,0 +1,82 @@
+//! Software-TLB hit path: repeated translations of the same page must
+//! be served from the per-CR3 TLB instead of re-walking four levels of
+//! page tables. The acceptance floor for this PR is a ≥5× win of
+//! repeated same-page translation (`SharedTlb::phys_of`, whose hit path
+//! is a lock-free seqlocked front cache) over an uncached `walk` of the
+//! same VA. `debug_stub_resolve` measures the same hit plus the
+//! hypervisor-layer pre-work (domain lookup, region classification).
+
+use bench::attack_world;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvsim::XenVersion;
+use hvsim_mem::Pfn;
+use hvsim_paging::{walk, SharedTlb};
+use std::hint::black_box;
+
+fn bench_phys_of_hit(c: &mut Criterion) {
+    // The headline pair: repeated same-page translation through the TLB
+    // vs the uncached walk it replaces, both at the paging layer.
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    let policy = world.hv().walk_policy();
+    let tlb = SharedTlb::new(true);
+    tlb.phys_of(world.hv().mem(), cr3, va, &policy).expect("va resolves"); // warm
+    c.bench_function("tlb_hit/phys_of_cached", |b| {
+        b.iter(|| tlb.phys_of(world.hv().mem(), cr3, black_box(va), &policy).unwrap())
+    });
+}
+
+fn bench_cached_phys_resolve(c: &mut Criterion) {
+    // The allocation-free fast path the injector's debug stub uses.
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    world.hv().debug_stub_resolve(attacker, va).expect("va resolves"); // warm the TLB
+    c.bench_function("tlb_hit/debug_stub_resolve_cached", |b| {
+        b.iter(|| world.hv().debug_stub_resolve(attacker, black_box(va)).unwrap())
+    });
+}
+
+fn bench_cached_guest_translate(c: &mut Criterion) {
+    // The full-translation path: a hit still reconstructs the recorded
+    // walk steps, so this is slower than phys_of but skips the table
+    // reads.
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    world.hv().guest_translate(attacker, va).expect("va translates"); // warm the TLB
+    c.bench_function("tlb_hit/guest_translate_cached", |b| {
+        b.iter(|| world.hv().guest_translate(attacker, black_box(va)).unwrap())
+    });
+}
+
+fn bench_raw_walk(c: &mut Criterion) {
+    // The uncached baseline the TLB is measured against.
+    let (world, attacker) = attack_world(XenVersion::V4_8, false);
+    let cr3 = world.hv().domain(attacker).unwrap().cr3().unwrap();
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    let policy = world.hv().walk_policy();
+    c.bench_function("tlb_hit/raw_walk", |b| {
+        b.iter(|| walk(world.hv().mem(), cr3, black_box(va), &policy).unwrap())
+    });
+}
+
+fn bench_tlb_disabled_translate(c: &mut Criterion) {
+    // The `--no-tlb` escape hatch: guest_translate falling through to a
+    // full walk every time.
+    let (mut world, attacker) = attack_world(XenVersion::V4_8, false);
+    world.set_tlb_enabled(false);
+    let va = world.kernel(attacker).unwrap().va_of_pfn(Pfn::new(8));
+    c.bench_function("tlb_hit/guest_translate_no_tlb", |b| {
+        b.iter(|| world.hv().guest_translate(attacker, black_box(va)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_phys_of_hit,
+    bench_cached_phys_resolve,
+    bench_cached_guest_translate,
+    bench_raw_walk,
+    bench_tlb_disabled_translate
+);
+criterion_main!(benches);

@@ -2,9 +2,18 @@
 //! versions, plus the RQ1/RQ2/RQ3 summaries of §VI–§VIII, and records
 //! campaign throughput in `BENCH_campaign.json`.
 //!
+//! By default the campaign runs once per jobs level (1, 4, 8) and
+//! `BENCH_campaign.json` holds one throughput entry per level — each
+//! with the copy-on-write snapshot stats and software-TLB hit/miss
+//! counters — so the scaling curve and the COW/TLB win are visible in
+//! a single artifact. `--jobs N` restricts the sweep to one level.
+//!
 //! Flags:
 //!
-//! * `--jobs N` — worker count (default: [`default_jobs`])
+//! * `--jobs N` — run a single worker count instead of the 1/4/8 sweep
+//! * `--no-tlb` — disable the software TLB (the report must not change)
+//! * `--report-out FILE` — write the *normalized* cell report as JSON
+//!   (what CI diffs across jobs levels and TLB settings)
 //! * `--trace-out FILE` — write the campaign's structured trace as JSONL
 //! * `--metrics-out FILE` — write the metrics-registry snapshot as JSON
 //! * `--json` — also print the full report as JSON
@@ -12,12 +21,15 @@
 use bench::paper_campaign;
 use hvsim::XenVersion;
 use hvsim_obs::{to_jsonl, MetricsRegistry, Tracer};
-use intrusion_core::{default_jobs, CampaignThroughput, Mode, PhaseLatency};
+use intrusion_core::{CampaignReport, CampaignThroughput, Mode, PhaseLatency};
 use std::process::exit;
 use std::time::Instant;
 
 struct Options {
-    jobs: usize,
+    /// `None` runs the default 1/4/8 sweep.
+    jobs: Option<usize>,
+    no_tlb: bool,
+    report_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     json: bool,
@@ -25,7 +37,9 @@ struct Options {
 
 fn parse_args() -> Options {
     let mut opts = Options {
-        jobs: default_jobs(),
+        jobs: None,
+        no_tlb: false,
+        report_out: None,
         trace_out: None,
         metrics_out: None,
         json: false,
@@ -41,19 +55,21 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--jobs" => {
                 let raw = value("--jobs");
-                opts.jobs = raw.parse().unwrap_or_else(|_| {
+                opts.jobs = Some(raw.parse().unwrap_or_else(|_| {
                     eprintln!("--jobs needs a positive integer, got '{raw}'");
                     exit(2);
-                });
+                }));
             }
+            "--no-tlb" => opts.no_tlb = true,
+            "--report-out" => opts.report_out = Some(value("--report-out")),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--json" => opts.json = true,
             other => {
                 eprintln!("unknown argument '{other}'");
                 eprintln!(
-                    "usage: table3_campaign [--jobs N] [--trace-out FILE] \
-                     [--metrics-out FILE] [--json]"
+                    "usage: table3_campaign [--jobs N] [--no-tlb] [--report-out FILE] \
+                     [--trace-out FILE] [--metrics-out FILE] [--json]"
                 );
                 exit(2);
             }
@@ -77,19 +93,31 @@ fn print_phase(name: &str, phase: &PhaseLatency) {
     );
 }
 
-fn main() {
-    let opts = parse_args();
-    let workers = opts.jobs;
-    let tracer = if opts.trace_out.is_some() { Tracer::enabled() } else { Tracer::disabled() };
-    let registry = MetricsRegistry::new();
-    eprintln!("running the full campaign (24 cells, {workers} workers) ...");
-    let start = Instant::now();
-    let report = paper_campaign()
-        .jobs(workers)
-        .tracer(tracer.clone())
-        .metrics(registry.clone())
-        .run();
-    let elapsed = start.elapsed();
+fn print_throughput(t: &CampaignThroughput) {
+    println!(
+        "throughput: {} completed + {} degraded of {} cells in {:.1} ms on {} workers \
+         ({:.0} cells/sec, {} us cell time, {} hypercalls)",
+        t.completed_cells,
+        t.degraded_cells,
+        t.cells,
+        t.elapsed_us as f64 / 1000.0,
+        t.workers,
+        t.cells_per_sec,
+        t.total_cell_wall_time_us,
+        t.total_hypercalls,
+    );
+    println!(
+        "  snapshot: {} frames, {} shared at peak, {} COW-copied   \
+         tlb: {} hits, {} misses",
+        t.snapshot.frames_total,
+        t.snapshot.frames_shared,
+        t.snapshot.frames_copied,
+        t.tlb.hits,
+        t.tlb.misses,
+    );
+}
+
+fn print_report(report: &CampaignReport) {
     println!("{}", report.render_table3());
 
     println!("RQ1 (reproduce exploit effects on the vulnerable version):");
@@ -145,32 +173,76 @@ fn main() {
             );
         }
     }
+}
 
-    // Throughput summary + machine-readable benchmark record.
-    let throughput =
-        CampaignThroughput::new(&report, workers, elapsed.as_micros() as u64);
-    println!(
-        "\nthroughput: {} completed + {} degraded of {} cells in {:.1} ms on {} workers \
-         ({:.0} cells/sec, {} us cell time, {} hypercalls)",
-        throughput.completed_cells,
-        throughput.degraded_cells,
-        throughput.cells,
-        throughput.elapsed_us as f64 / 1000.0,
-        throughput.workers,
-        throughput.cells_per_sec,
-        throughput.total_cell_wall_time_us,
-        throughput.total_hypercalls,
-    );
-    println!("per-phase latency (completed vs degraded cells):");
-    print_phase("boot", &throughput.latency.boot);
-    print_phase("inject", &throughput.latency.inject);
-    print_phase("monitor", &throughput.latency.monitor);
-    let bench = serde_json::to_string_pretty(&throughput).expect("throughput serializes");
+fn main() {
+    let opts = parse_args();
+    let jobs_levels: Vec<usize> = match opts.jobs {
+        Some(n) => vec![n],
+        None => vec![1, 4, 8],
+    };
+    let tracer = if opts.trace_out.is_some() { Tracer::enabled() } else { Tracer::disabled() };
+    let registry = MetricsRegistry::new();
+
+    let mut entries: Vec<CampaignThroughput> = Vec::new();
+    let mut last_report: Option<CampaignReport> = None;
+    for (i, &workers) in jobs_levels.iter().enumerate() {
+        // The trace and metrics hooks are attached to the last level
+        // only, so `--trace-out` / `--metrics-out` describe one run
+        // instead of interleaving the whole sweep.
+        let last = i == jobs_levels.len() - 1;
+        let mut campaign = paper_campaign().jobs(workers);
+        if opts.no_tlb {
+            campaign = campaign.use_tlb(false);
+        }
+        if last {
+            campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
+        }
+        eprintln!(
+            "running the full campaign (24 cells, {workers} workers{}) ...",
+            if opts.no_tlb { ", TLB off" } else { "" }
+        );
+        let start = Instant::now();
+        let report = campaign.run();
+        let elapsed = start.elapsed();
+        entries.push(CampaignThroughput::new(&report, workers, elapsed.as_micros() as u64));
+        if last {
+            last_report = Some(report);
+        }
+    }
+    let report = last_report.expect("at least one jobs level ran");
+    print_report(&report);
+
+    // Throughput summary + machine-readable benchmark record: one entry
+    // per jobs level (always an array, even for a single `--jobs N`).
+    println!();
+    for t in &entries {
+        print_throughput(t);
+    }
+    println!("per-phase latency of the last run (completed vs degraded cells):");
+    let final_entry = entries.last().expect("entries is non-empty");
+    print_phase("boot", &final_entry.latency.boot);
+    print_phase("inject", &final_entry.latency.inject);
+    print_phase("monitor", &final_entry.latency.monitor);
+    let bench = serde_json::to_string_pretty(&entries).expect("throughput serializes");
     match std::fs::write("BENCH_campaign.json", bench) {
-        Ok(()) => eprintln!("wrote BENCH_campaign.json"),
+        Ok(()) => eprintln!("wrote BENCH_campaign.json ({} jobs levels)", entries.len()),
         Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
     }
 
+    if let Some(path) = &opts.report_out {
+        // The *normalized* report: per-cell timing and COW/TLB stats
+        // zeroed, so runs at different jobs levels or TLB settings must
+        // produce byte-identical files (CI diffs them).
+        let json = report.normalized().to_json().expect("report serializes");
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote normalized report to {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
     if let Some(path) = &opts.trace_out {
         let events = tracer.drain();
         match std::fs::write(path, to_jsonl(&events)) {

@@ -30,11 +30,27 @@ fn paper_campaign_snapshots_match_boot_per_cell() {
 }
 
 #[test]
+fn paper_campaign_report_is_tlb_independent() {
+    let with_tlb = paper_campaign().run_with_jobs(2);
+    let without_tlb = paper_campaign().use_tlb(false).run_with_jobs(2);
+    assert_eq!(
+        with_tlb.normalized().to_json().unwrap(),
+        without_tlb.normalized().to_json().unwrap(),
+        "the software TLB is an optimization: disabling it must not change the report"
+    );
+}
+
+#[test]
 fn paper_campaign_records_cell_metrics() {
     let report = paper_campaign().run();
     assert_eq!(report.cells().len(), 24);
     assert!(report.total_hypercalls() > 0);
     assert!(report.total_wall_time_us() > 0);
+    // The COW/TLB stats ride along on every cell and aggregate into the
+    // throughput record.
+    assert!(report.cells().iter().all(|c| c.snapshot.frames_total > 0));
+    let tlb_lookups: u64 = report.cells().iter().map(|c| c.tlb.hits + c.tlb.misses).sum();
+    assert!(tlb_lookups > 0, "the campaign hot path must consult the TLB");
 }
 
 #[test]

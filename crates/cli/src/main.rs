@@ -42,6 +42,8 @@ COMMANDS:
                    [--retries <n>] extra boot attempts for transient failures (default 0)
                    [--trace-out <file>]    write the structured trace as JSONL
                    [--metrics-out <file>]  write the metrics snapshot as JSON
+                   [--no-tlb]      disable the software TLB (escape hatch; reports
+                                   are byte-identical either way, only slower)
     run          run one use case once
                    --use-case <name>      e.g. XSA-212-crash (see 'models')
                    [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
@@ -59,6 +61,7 @@ COMMANDS:
                    [--retries <n>] extra boot attempts for transient failures (default 0)
                    [--trace-out <file>]    write the structured trace as JSONL
                    [--metrics-out <file>]  write the metrics snapshot as JSON
+                   [--no-tlb]      disable the software TLB (escape hatch)
     trace        inspect a JSONL trace written by --trace-out
                    summary <file>   per-phase self-time profile + slowest cells
                                     [--top <n>]  slowest cells to list (default 10)
@@ -163,6 +166,9 @@ fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, St
     campaign = campaign.jobs(parse_jobs(p)?).retries(parse_retries(p)?);
     if let Some(deadline) = parse_cell_deadline(p)? {
         campaign = campaign.cell_deadline(deadline);
+    }
+    if p.has_flag("no-tlb") {
+        campaign = campaign.use_tlb(false);
     }
     Ok(campaign)
 }
@@ -570,6 +576,8 @@ mod tests {
             wall_time_us: 0,
             hypercalls: 0,
             phase_us: intrusion_core::PhaseTimings::default(),
+            snapshot: hvsim::SnapshotStats::default(),
+            tlb: hvsim::TlbStats::default(),
         };
         let violation = SecurityViolation::HypervisorCrash { message: "x".into() };
         let clean = CampaignReport::from_cells(vec![cell(vec![], None)]);

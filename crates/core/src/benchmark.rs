@@ -212,6 +212,8 @@ mod tests {
             wall_time_us: 0,
             hypercalls: 0,
             phase_us: crate::campaign::PhaseTimings::default(),
+            snapshot: hvsim::SnapshotStats::default(),
+            tlb: hvsim::TlbStats::default(),
         }
     }
 

@@ -9,7 +9,7 @@ use crate::obs_bridge;
 use crate::report::{TextTable, CHECK, SHIELD};
 use crate::scenario::{Mode, UseCase};
 use guestos::{BootError, World, WorldBuilder};
-use hvsim::XenVersion;
+use hvsim::{SnapshotStats, TlbStats, XenVersion};
 use hvsim_obs::{HistogramSummary, MetricsRegistry, MetricsSnapshot, TraceCtx, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -130,6 +130,16 @@ pub struct CellResult {
     /// Per-phase wall-clock breakdown — recorded for degraded cells
     /// too, so a timeout or crash is attributable to a phase.
     pub phase_us: PhaseTimings,
+    /// Copy-on-write accounting of the cell's world at collection time.
+    /// `frames_shared` depends on which sibling snapshots happen to be
+    /// alive when the cell finishes (and `frames_copied` on whether the
+    /// world was cloned or freshly booted), so the whole record is
+    /// zeroed by [`CampaignReport::normalized`].
+    pub snapshot: SnapshotStats,
+    /// Software-TLB hit/miss counters for the cell's world. Differs by
+    /// construction when the TLB is disabled, so it is zeroed by
+    /// [`CampaignReport::normalized`] too.
+    pub tlb: TlbStats,
 }
 
 impl CellResult {
@@ -199,6 +209,11 @@ impl CampaignReport {
         for cell in &mut report.cells {
             cell.wall_time_us = 0;
             cell.phase_us = cell.phase_us.normalized();
+            // COW sharing depends on concurrently-alive sibling
+            // snapshots (worker count, reuse) and TLB counters on the
+            // cache toggle; neither is part of the assessment result.
+            cell.snapshot = SnapshotStats::default();
+            cell.tlb = TlbStats::default();
         }
         report.metrics = report.metrics.as_ref().map(MetricsSnapshot::normalized);
         report
@@ -427,6 +442,13 @@ pub struct CampaignThroughput {
     pub total_hypercalls: u64,
     /// Per-phase latency summaries, split completed vs degraded.
     pub latency: LatencyBreakdown,
+    /// Copy-on-write aggregate: `frames_total`/`frames_shared` are the
+    /// per-cell maxima (worlds share one size; peak sharing shows how
+    /// much of a snapshot stayed shared), `frames_copied` is summed
+    /// across cells.
+    pub snapshot: SnapshotStats,
+    /// Software-TLB hit/miss totals summed across cells.
+    pub tlb: TlbStats,
 }
 
 impl CampaignThroughput {
@@ -447,6 +469,15 @@ impl CampaignThroughput {
             total_cell_wall_time_us: report.total_wall_time_us(),
             total_hypercalls: report.total_hypercalls(),
             latency: LatencyBreakdown::from_report(report),
+            snapshot: SnapshotStats {
+                frames_total: report.cells().iter().map(|c| c.snapshot.frames_total).max().unwrap_or(0),
+                frames_shared: report.cells().iter().map(|c| c.snapshot.frames_shared).max().unwrap_or(0),
+                frames_copied: report.cells().iter().map(|c| c.snapshot.frames_copied).sum(),
+            },
+            tlb: TlbStats {
+                hits: report.cells().iter().map(|c| c.tlb.hits).sum(),
+                misses: report.cells().iter().map(|c| c.tlb.misses).sum(),
+            },
         }
     }
 }
@@ -468,6 +499,10 @@ pub struct CampaignConfig {
     /// Extra boot attempts for *transient* failures (`-ENOMEM`/`-EBUSY`)
     /// per cell; `0` means fail on the first error.
     pub retries: u32,
+    /// Disables the software TLB in every cell's world (the `--no-tlb`
+    /// escape hatch; default `false` = TLB on). The cache is
+    /// semantically transparent, so reports are identical either way.
+    pub disable_tlb: bool,
 }
 
 /// The campaign: use cases × versions × modes.
@@ -557,6 +592,14 @@ impl Campaign {
     #[must_use]
     pub fn retries(mut self, retries: u32) -> Self {
         self.config.retries = retries;
+        self
+    }
+
+    /// Enables or disables the per-world software TLB (on by default;
+    /// see [`CampaignConfig::disable_tlb`]).
+    #[must_use]
+    pub fn use_tlb(mut self, enabled: bool) -> Self {
+        self.config.disable_tlb = !enabled;
         self
     }
 
@@ -806,6 +849,9 @@ impl Campaign {
                 return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
             }
         };
+        if self.config.disable_tlb {
+            world.set_tlb_enabled(false);
+        }
         if fresh_boot {
             obs_bridge::bridge_boot_stages(ctx, "cell/boot", world.boot_trace());
         }
@@ -890,6 +936,8 @@ impl Campaign {
             wall_time_us: 0, // patched below, after the clock stops
             hypercalls: world.hv().hypercall_count().saturating_sub(base_hypercalls),
             phase_us: phases,
+            snapshot: world.snapshot_stats(),
+            tlb: world.tlb_stats(),
         }
         .with_wall_time(start.elapsed().as_micros() as u64)
     }
@@ -938,6 +986,8 @@ impl Campaign {
             wall_time_us,
             hypercalls: 0,
             phase_us: phases,
+            snapshot: SnapshotStats::default(),
+            tlb: TlbStats::default(),
         }
     }
 
@@ -1188,6 +1238,79 @@ mod tests {
             .to_json()
             .unwrap();
         assert_eq!(serial, booted, "snapshot clones must equal fresh boots");
+    }
+
+    #[test]
+    fn tlb_toggle_does_not_change_the_report() {
+        let with_tlb = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .run_with_jobs(2);
+        let without_tlb = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .use_tlb(false)
+            .run_with_jobs(2);
+        assert_eq!(
+            with_tlb.normalized().to_json().unwrap(),
+            without_tlb.normalized().to_json().unwrap(),
+            "the TLB must be semantically transparent"
+        );
+        // The raw (non-normalized) stats prove the toggle took effect:
+        // an enabled TLB counts every lookup (the synthetic use case is
+        // too small to guarantee repeat hits, but not lookups).
+        let lookups: u64 = with_tlb.cells().iter().map(|c| c.tlb.hits + c.tlb.misses).sum();
+        assert!(lookups > 0, "an enabled TLB observes translations during a campaign");
+        for c in without_tlb.cells() {
+            assert_eq!(c.tlb, hvsim::TlbStats::default(), "disabled TLB records nothing");
+        }
+    }
+
+    #[test]
+    fn snapshot_cells_record_cow_stats() {
+        let report = Campaign::new().with_use_case(Box::new(CrashCase)).run_with_jobs(1);
+        for c in report.cells() {
+            assert!(c.snapshot.frames_total > 0, "cells report their world size");
+            assert!(
+                c.snapshot.frames_copied < c.snapshot.frames_total / 4,
+                "COW must materialize a small fraction of the world, got {}/{}",
+                c.snapshot.frames_copied,
+                c.snapshot.frames_total
+            );
+        }
+        let copied: u64 = report.cells().iter().map(|c| c.snapshot.frames_copied).sum();
+        assert!(copied > 0, "cells that write dirty shared frames via COW");
+        // Normalization zeroes the schedule-dependent stats.
+        for c in report.normalized().cells() {
+            assert_eq!(c.snapshot, hvsim::SnapshotStats::default());
+            assert_eq!(c.tlb, hvsim::TlbStats::default());
+        }
+        // The throughput record aggregates them.
+        let t = CampaignThroughput::new(&report, 1, 1);
+        assert!(t.snapshot.frames_copied > 0);
+        assert_eq!(t.snapshot.frames_total, 4096, "the standard world's frame count");
+    }
+
+    #[test]
+    fn hypercall_counter_matches_canonical_per_cell_sum() {
+        // The compatibility shim: the per-cell sum in the report is the
+        // canonical count (see `report::canonical_hypercall_total`); the
+        // `campaign.hypercalls` registry counter is derived from it and
+        // the two must always agree.
+        let registry = MetricsRegistry::new();
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .metrics(registry.clone())
+            .run_with_jobs(2);
+        let canonical = crate::report::canonical_hypercall_total(&report);
+        assert_eq!(canonical, report.total_hypercalls());
+        let counter = report
+            .metrics()
+            .expect("metrics snapshot attached")
+            .counters
+            .iter()
+            .find(|c| c.name == crate::obs_bridge::M_HYPERCALLS)
+            .expect("campaign.hypercalls counter");
+        assert_eq!(counter.value, canonical, "registry counter must equal the canonical sum");
+        assert!(canonical > 0);
     }
 
     #[test]

@@ -101,6 +101,6 @@ pub use injector::{ArbitraryAccessInjector, DebugStubInjector, InjectError, Inje
 pub use model::{AttackInterface, IntrusionModel, StateTrace, TargetComponent, TriggeringSource};
 pub use monitor::{Detector, Monitor, Observation, SecurityViolation};
 pub use randomized::{RandomizedCampaign, RandomizedOutcome, RandomizedSummary, TargetRegion};
-pub use report::TextTable;
+pub use report::{canonical_hypercall_total, TextTable};
 pub use scenario::{Mode, ScenarioOutcome, UseCase};
 pub use taxonomy::{AbusiveFunctionality, FunctionalityClass};

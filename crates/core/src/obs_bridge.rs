@@ -26,9 +26,17 @@ pub const M_TIMEOUTS: &str = "campaign.timeouts";
 pub const M_BOOT_FAILURES: &str = "campaign.boot_failures";
 /// Counter: cells where a panic escaped the cell body.
 pub const M_CRASHES: &str = "campaign.crashes";
-/// Counter: hypercalls executed across all cells — the registry-backed
-/// successor to summing the per-cell `hypercalls` report field.
+/// Counter: hypercalls executed across all cells. Derived from the
+/// canonical per-cell sum — see
+/// [`canonical_hypercall_total`](crate::report::canonical_hypercall_total)
+/// for which count is authoritative.
 pub const M_HYPERCALLS: &str = "campaign.hypercalls";
+/// Counter: frames privatized by copy-on-write across all cell worlds.
+pub const M_FRAMES_COPIED: &str = "mem.frames_copied";
+/// Counter: software-TLB hits across all cell worlds.
+pub const M_TLB_HITS: &str = "tlb.hits";
+/// Counter: software-TLB misses across all cell worlds.
+pub const M_TLB_MISSES: &str = "tlb.misses";
 
 /// Re-emits hypervisor audit events as trace points under
 /// `audit/<kind>`, one per event, with the human-readable rendering in
@@ -101,7 +109,10 @@ pub fn record_report_metrics(report: &CampaignReport, registry: &MetricsRegistry
             .filter(|c| matches!(c.outcome, crate::error::CellOutcome::Crashed { .. }))
             .count() as u64,
     );
-    registry.add(M_HYPERCALLS, report.total_hypercalls());
+    registry.add(M_HYPERCALLS, crate::report::canonical_hypercall_total(report));
+    registry.add(M_FRAMES_COPIED, cells.iter().map(|c| c.snapshot.frames_copied).sum());
+    registry.add(M_TLB_HITS, cells.iter().map(|c| c.tlb.hits).sum());
+    registry.add(M_TLB_MISSES, cells.iter().map(|c| c.tlb.misses).sum());
     let completed: Vec<&CellResult> = report.completed_cells().collect();
     let degraded: Vec<&CellResult> = report.degraded_cells().collect();
     for (suffix, group) in [("completed", &completed), ("degraded", &degraded)] {

@@ -14,7 +14,7 @@ use hvsim_mem::{
     DomainId, FrameAllocator, MachineMemory, Mfn, PageType, Pfn, PhysAddr, VirtAddr, PAGE_SIZE,
 };
 use hvsim_paging::{
-    walk, AccessKind, MemoryLayout, PageFault, Region, Translation, WalkPolicy,
+    AccessKind, MemoryLayout, PageFault, Region, SharedTlb, TlbStats, Translation, WalkPolicy,
 };
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +36,10 @@ pub struct BuildConfig {
     pub frames: usize,
     /// Simulated CPUs, each with its own IDT (default 2).
     pub cpus: usize,
+    /// Whether translations go through the software TLB (default true;
+    /// the cache is semantically transparent, so this is an escape
+    /// hatch for A/B comparison, exposed as `--no-tlb` on the CLI).
+    pub tlb: bool,
 }
 
 impl BuildConfig {
@@ -46,6 +50,7 @@ impl BuildConfig {
             injector_enabled: false,
             frames: 4096,
             cpus: 2,
+            tlb: true,
         }
     }
 
@@ -67,6 +72,13 @@ impl BuildConfig {
     #[must_use]
     pub fn cpus(mut self, cpus: usize) -> Self {
         self.cpus = cpus;
+        self
+    }
+
+    /// Enables or disables the software TLB.
+    #[must_use]
+    pub fn tlb(mut self, enabled: bool) -> Self {
+        self.tlb = enabled;
         self
     }
 }
@@ -111,6 +123,9 @@ pub struct Hypervisor {
     console: Vec<String>,
     pub(crate) audit: AuditLog,
     hypercall_count: u64,
+    /// Software TLB over `mem`'s page tables; cloning a hypervisor
+    /// starts the clone with a cold cache (see [`SharedTlb`]).
+    pub(crate) tlb: SharedTlb,
 }
 
 impl Hypervisor {
@@ -208,6 +223,7 @@ impl Hypervisor {
             console: Vec::new(),
             audit: AuditLog::new(),
             hypercall_count: 0,
+            tlb: SharedTlb::new(config.tlb),
         };
         hv.console_line(format!(
             "Xen version {} (injector {})",
@@ -244,6 +260,22 @@ impl Hypervisor {
     /// Read-only view of machine memory (for monitors and audits).
     pub fn mem(&self) -> &MachineMemory {
         &self.mem
+    }
+
+    /// Software-TLB hit/miss counters accumulated by this instance.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// `true` if translations consult the software TLB.
+    pub fn tlb_enabled(&self) -> bool {
+        self.tlb.is_enabled()
+    }
+
+    /// Enables or disables the software TLB (the `--no-tlb` escape
+    /// hatch). The cache is semantically transparent either way.
+    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+        self.tlb.set_enabled(enabled);
     }
 
     /// The machine frame holding the shared hypervisor L3 table (the page
@@ -539,7 +571,7 @@ impl Hypervisor {
         let d = self.domain(dom)?;
         let cr3 = d.cr3().ok_or(HvError::Inval)?;
         let policy = self.walk_policy();
-        Ok(walk(&self.mem, cr3, va, &policy)?)
+        Ok(self.tlb.translate(&self.mem, cr3, va, &policy)?)
     }
 
     /// Reads from the guest-read-only hypervisor window (the M2P table).
@@ -694,8 +726,11 @@ impl Hypervisor {
                 .domain(dom)
                 .ok()
                 .and_then(|d| d.cr3())
-                .and_then(|cr3| walk(&self.mem, cr3, va, &self.walk_policy()).ok())
-                .map(|t| t.phys),
+                .and_then(|cr3| {
+                    self.tlb
+                        .phys_of(&self.mem, cr3, va, &self.walk_policy())
+                        .ok()
+                }),
             _ => None,
         }
     }

@@ -92,7 +92,10 @@ pub use invariants::InvariantViolation;
 pub use version::{VulnConfig, XenVersion};
 
 // Re-export the vocabulary types users inevitably need alongside this crate.
-pub use hvsim_mem::{DomainId, MachineMemory, MemError, Mfn, PageType, Pfn, PhysAddr, VirtAddr};
+pub use hvsim_mem::{
+    DomainId, MachineMemory, MemError, Mfn, PageType, Pfn, PhysAddr, SnapshotStats, VirtAddr,
+};
 pub use hvsim_paging::{
-    AccessKind, MemoryLayout, PageFault, PageFaultKind, PageTableEntry, PteFlags, WalkPolicy,
+    AccessKind, MemoryLayout, PageFault, PageFaultKind, PageTableEntry, PteFlags, TlbStats,
+    WalkPolicy,
 };

@@ -71,7 +71,13 @@ impl Hypervisor {
         self.bump_hypercall_count();
         self.ensure_alive(dom)?;
         let cr3 = self.domain(dom)?.cr3().ok_or(HvError::Inval)?;
-        let (slot, _) = pte_slot(&self.mem, cr3, va, 1)?;
+        // A cached 4 KiB translation pins down the L1 slot without
+        // re-walking; a valid cache hit returns exactly what
+        // `pte_slot(.., 1)` would (see `SharedTlb::cached_l1_slot`).
+        let slot = match self.tlb.cached_l1_slot(&self.mem, cr3, va) {
+            Some(slot) => slot,
+            None => pte_slot(&self.mem, cr3, va, 1)?.0,
+        };
         let table = slot.frame();
         let index = slot.page_offset() / 8;
         self.validate_and_write_pte(dom, table, index, PageTableEntry::from_raw(val))?;
@@ -1127,5 +1133,52 @@ mod tests {
     fn access_kind_reexport_smoke() {
         // Keep the re-exports honest.
         let _ = AccessKind::Read;
+    }
+
+    // ------------------------------------------------------------------
+    // Software-TLB transparency under injection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn injected_pte_corruption_is_seen_through_a_warm_tlb() {
+        use crate::injector::AccessMode;
+        // XSA-148 audit-walk semantics: inject a corrupted PTE through
+        // the injector hypercall at the slot `pte_slot` locates, and the
+        // very next walk — even with the translation already cached —
+        // must see the corruption. A stale-TLB false negative here would
+        // invalidate every monitor verdict in the campaign.
+        let mut g = boot(XenVersion::V4_6, true);
+        assert!(g.hv.tlb_enabled());
+        let cr3 = g.hv.domain(g.dom).unwrap().cr3().unwrap();
+        // Warm the cache: repeated translations of the same page hit.
+        let before = g.hv.guest_translate(g.dom, g.data_va).unwrap();
+        assert_eq!(before.mfn, g.data);
+        g.hv.guest_translate(g.dom, g.data_va).unwrap();
+        assert!(g.hv.tlb_stats().hits >= 1, "the second translation must hit");
+        // Locate the L1 slot and inject a PTE redirecting data_va.
+        let (slot, old) = pte_slot(g.hv.mem(), cr3, g.data_va, 1).unwrap();
+        assert_eq!(old.mfn(), g.data);
+        let (_, evil) = g.hv.alloc_domain_frame(g.dom, PageType::Writable).unwrap();
+        let forged = PageTableEntry::new(evil, LINK);
+        let mut bytes = forged.raw().to_le_bytes();
+        g.hv.hc_arbitrary_access(g.dom, slot.raw(), &mut bytes, AccessMode::PhysWrite)
+            .unwrap();
+        // The injected write targeted an L1-typed frame, so the memory
+        // generation moved and the cached entry is dead.
+        let after = g.hv.guest_translate(g.dom, g.data_va).unwrap();
+        assert_eq!(after.mfn, evil, "the walk after injection must see the corruption");
+        // And the hypervisor's view agrees with an uncached audit walk.
+        let raw = walk(g.hv.mem(), cr3, g.data_va, &g.hv.walk_policy()).unwrap();
+        assert_eq!(after, raw);
+    }
+
+    #[test]
+    fn tlb_escape_hatch_reports_identical_translations() {
+        let mut g = boot(XenVersion::V4_8, false);
+        let cached = g.hv.guest_translate(g.dom, g.data_va).unwrap();
+        g.hv.set_tlb_enabled(false);
+        assert!(!g.hv.tlb_enabled());
+        let uncached = g.hv.guest_translate(g.dom, g.data_va).unwrap();
+        assert_eq!(cached, uncached);
     }
 }

@@ -1,18 +1,38 @@
 //! The byte-accurate machine memory array.
+//!
+//! Frames are stored copy-on-write at **two levels**: the frame and
+//! accounting vectors themselves sit behind an [`Arc`], so cloning a
+//! [`MachineMemory`] is two reference-count bumps — O(1), no matter how
+//! much memory is installed. The first mutation after a clone
+//! privatizes the vector ([`Arc::make_mut`]; one pointer copy per
+//! frame), and each materialized frame is itself an
+//! `Arc<[u8; PAGE_SIZE]>` shared until written, so a snapshot still
+//! costs only O(touched pages) of real memory over its lifetime — the
+//! behaviour a real MMU gives fork-style snapshots.
+//!
+//! Writes also maintain the **page-table write generation**: a counter
+//! bumped only when a store lands in a frame whose [`PageInfo`] type is
+//! one of the page-table types (or when such a frame's accounting is
+//! mutated, which covers demote-then-write sequences). The software TLB
+//! in `hvsim-paging` keys its validity off this counter, so data writes
+//! never flush cached translations while PTE writes always do.
 
 use crate::{MemError, Mfn, PageInfo, PhysAddr, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One machine frame's contents.
 ///
 /// Frames start life as all-zeroes and are only materialized on first
-/// write, so large simulated machines stay cheap until touched.
+/// write, so large simulated machines stay cheap until touched. The
+/// materialized representation is shared between clones until written.
 #[derive(Clone, Debug, Default)]
 enum FrameData {
     /// The frame has never been written; reads see zeroes.
     #[default]
     Zero,
-    /// Materialized contents.
-    Data(Box<[u8; PAGE_SIZE]>),
+    /// Materialized contents, shared copy-on-write between snapshots.
+    Data(Arc<[u8; PAGE_SIZE]>),
 }
 
 impl FrameData {
@@ -22,26 +42,56 @@ impl FrameData {
             FrameData::Data(b) => Some(b),
         }
     }
+}
 
-    fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
-        if let FrameData::Zero = self {
-            *self = FrameData::Data(Box::new([0u8; PAGE_SIZE]));
-        }
-        match self {
-            FrameData::Data(b) => b,
-            FrameData::Zero => unreachable!("frame was just materialized"),
-        }
-    }
+/// Copy-on-write accounting for one memory image, reported per campaign
+/// cell so `BENCH_campaign.json` shows how much of a snapshot stayed
+/// shared.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Installed frames.
+    pub frames_total: u64,
+    /// Materialized frames currently shared with at least one other
+    /// snapshot (reference count > 1). Depends on which sibling
+    /// snapshots are alive at sampling time, so it is zeroed by report
+    /// normalization.
+    pub frames_shared: u64,
+    /// Frames this image privatized via copy-on-write since it was
+    /// cloned (zero-frame materializations are not copies and are not
+    /// counted).
+    pub frames_copied: u64,
 }
 
 /// All installed machine memory: frame contents plus per-frame accounting.
 ///
 /// This is the single source of truth every other subsystem (page walks,
 /// hypercalls, guests, the intrusion injector) reads and mutates.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct MachineMemory {
-    frames: Vec<FrameData>,
-    info: Vec<PageInfo>,
+    frames: Arc<Vec<FrameData>>,
+    info: Arc<Vec<PageInfo>>,
+    /// Bumped on every store to (or accounting mutation of) a
+    /// page-table-typed frame; see the module docs.
+    pt_gen: u64,
+    /// Copy-on-write breaks since this image was created or cloned.
+    frames_copied: u64,
+}
+
+impl Clone for MachineMemory {
+    /// A copy-on-write snapshot: two reference-count bumps, independent
+    /// of installed memory size. Frame contents and accounting are
+    /// shared until either image mutates them. The clone starts its own
+    /// [`SnapshotStats::frames_copied`] count at zero; the page-table
+    /// write generation carries over so cached translations keyed
+    /// against the parent stay comparable.
+    fn clone(&self) -> Self {
+        Self {
+            frames: Arc::clone(&self.frames),
+            info: Arc::clone(&self.info),
+            pt_gen: self.pt_gen,
+            frames_copied: 0,
+        }
+    }
 }
 
 impl MachineMemory {
@@ -49,8 +99,10 @@ impl MachineMemory {
     /// and unowned.
     pub fn new(frames: usize) -> Self {
         Self {
-            frames: (0..frames).map(|_| FrameData::Zero).collect(),
-            info: vec![PageInfo::new(); frames],
+            frames: Arc::new((0..frames).map(|_| FrameData::Zero).collect()),
+            info: Arc::new(vec![PageInfo::new(); frames]),
+            pt_gen: 0,
+            frames_copied: 0,
         }
     }
 
@@ -80,6 +132,84 @@ impl MachineMemory {
         }
     }
 
+    /// The page-table write generation. Translation caches compare this
+    /// against the value they last observed: unchanged means no
+    /// page-table-typed frame was written (or re-accounted) since, so
+    /// every cached walk is still valid.
+    pub fn pt_generation(&self) -> u64 {
+        self.pt_gen
+    }
+
+    /// Copy-on-write accounting for this image.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        // While the whole frame vector is still shared (no mutation
+        // since the clone), every materialized frame is shared with the
+        // sibling image even though its own refcount is untouched.
+        let vec_shared = Arc::strong_count(&self.frames) > 1;
+        SnapshotStats {
+            frames_total: self.frame_count(),
+            frames_shared: self
+                .frames
+                .iter()
+                .filter(|f| match f {
+                    FrameData::Data(a) => vec_shared || Arc::strong_count(a) > 1,
+                    FrameData::Zero => false,
+                })
+                .count() as u64,
+            frames_copied: self.frames_copied,
+        }
+    }
+
+    /// A clone that materializes a private copy of every frame — the
+    /// pre-COW snapshot behaviour, kept as the baseline the
+    /// `snapshot_cow` bench compares reference-count cloning against.
+    pub fn deep_copy(&self) -> Self {
+        Self {
+            frames: Arc::new(
+                self.frames
+                    .iter()
+                    .map(|f| match f {
+                        FrameData::Zero => FrameData::Zero,
+                        FrameData::Data(b) => FrameData::Data(Arc::new(**b)),
+                    })
+                    .collect(),
+            ),
+            info: Arc::new(self.info.as_ref().clone()),
+            pt_gen: self.pt_gen,
+            frames_copied: 0,
+        }
+    }
+
+    /// Bumps the page-table write generation if frame `idx` is currently
+    /// typed as a page table.
+    fn note_pt_mutation(&mut self, idx: usize) {
+        if self.info[idx].page_type().is_page_table() {
+            self.pt_gen = self.pt_gen.wrapping_add(1);
+        }
+    }
+
+    /// Mutable view of one frame's bytes, materializing zero frames and
+    /// breaking copy-on-write sharing as needed. The first mutation
+    /// after a clone also privatizes the frame vector itself (which
+    /// bumps every materialized frame's refcount, keeping the per-frame
+    /// sharing accounting intact).
+    fn frame_bytes_mut(&mut self, idx: usize) -> &mut [u8; PAGE_SIZE] {
+        let frames = Arc::make_mut(&mut self.frames);
+        if let FrameData::Data(arc) = &frames[idx] {
+            if Arc::strong_count(arc) > 1 {
+                self.frames_copied += 1;
+            }
+        }
+        let slot = &mut frames[idx];
+        if matches!(slot, FrameData::Zero) {
+            *slot = FrameData::Data(Arc::new([0u8; PAGE_SIZE]));
+        }
+        match slot {
+            FrameData::Data(arc) => Arc::make_mut(arc),
+            FrameData::Zero => unreachable!("frame was just materialized"),
+        }
+    }
+
     /// Accounting record for a frame.
     ///
     /// # Errors
@@ -92,12 +222,19 @@ impl MachineMemory {
 
     /// Mutable accounting record for a frame.
     ///
+    /// Handing out mutable accounting access to a page-table-typed frame
+    /// bumps the page-table write generation: a type demotion through
+    /// this handle could otherwise let later *data* writes to the frame
+    /// slip past translation caches that walked through it while it was
+    /// still a page table.
+    ///
     /// # Errors
     ///
     /// Returns [`MemError::BadFrame`] for uninstalled frames.
     pub fn info_mut(&mut self, mfn: Mfn) -> Result<&mut PageInfo, MemError> {
         let idx = self.check_frame(mfn)?;
-        Ok(&mut self.info[idx])
+        self.note_pt_mutation(idx);
+        Ok(&mut Arc::make_mut(&mut self.info)[idx])
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -151,9 +288,11 @@ impl MachineMemory {
         let mut written = 0usize;
         while written < buf.len() {
             let frame = cursor.frame();
+            let idx = frame.raw() as usize;
             let off = cursor.page_offset();
             let chunk = (PAGE_SIZE - off).min(buf.len() - written);
-            self.frames[frame.raw() as usize].bytes_mut()[off..off + chunk]
+            self.note_pt_mutation(idx);
+            self.frame_bytes_mut(idx)[off..off + chunk]
                 .copy_from_slice(&buf[written..written + chunk]);
             written += chunk;
             cursor = cursor.offset(chunk as u64);
@@ -185,12 +324,16 @@ impl MachineMemory {
 
     /// Zeroes an entire frame.
     ///
+    /// The frame reverts to the unmaterialized zero representation, so
+    /// a snapshot's untouched zero frames stay free after cloning.
+    ///
     /// # Errors
     ///
     /// Returns [`MemError::BadFrame`] for uninstalled frames.
     pub fn zero_frame(&mut self, mfn: Mfn) -> Result<(), MemError> {
         let idx = self.check_frame(mfn)?;
-        self.frames[idx] = FrameData::Zero;
+        self.note_pt_mutation(idx);
+        Arc::make_mut(&mut self.frames)[idx] = FrameData::Zero;
         Ok(())
     }
 
@@ -212,6 +355,7 @@ impl MachineMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DomainId, PageType};
     use proptest::prelude::*;
 
     #[test]
@@ -281,6 +425,111 @@ mod tests {
         assert!(out.iter().all(|&b| b == 0));
     }
 
+    #[test]
+    fn clone_shares_frames_until_written() {
+        let mut parent = MachineMemory::new(8);
+        parent.write(PhysAddr::new(0), b"parent data").unwrap();
+        parent.write_u64(Mfn::new(3).base(), 0xabcd).unwrap();
+        let child = parent.clone();
+        let stats = child.snapshot_stats();
+        assert_eq!(stats.frames_total, 8);
+        assert_eq!(stats.frames_shared, 2, "both materialized frames are shared");
+        assert_eq!(stats.frames_copied, 0, "nothing written through the clone yet");
+        // The parent sees the same sharing; its copy counter reflects
+        // only its own post-clone writes.
+        assert_eq!(parent.snapshot_stats().frames_shared, 2);
+    }
+
+    #[test]
+    fn cow_write_breaks_sharing_for_one_frame_only() {
+        let mut parent = MachineMemory::new(8);
+        parent.write(PhysAddr::new(0), b"original").unwrap();
+        parent.write(Mfn::new(1).base(), b"second").unwrap();
+        let mut child = parent.clone();
+        child.write(PhysAddr::new(0), b"modified").unwrap();
+        let mut buf = [0u8; 8];
+        parent.read(PhysAddr::new(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"original", "the parent never sees the child's write");
+        child.read(PhysAddr::new(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"modified");
+        let stats = child.snapshot_stats();
+        assert_eq!(stats.frames_copied, 1, "only the written frame was privatized");
+        assert_eq!(stats.frames_shared, 1, "frame 1 is still shared");
+    }
+
+    #[test]
+    fn zero_frame_fast_path_survives_cow() {
+        let mut parent = MachineMemory::new(4);
+        parent.write(PhysAddr::new(0), b"data").unwrap();
+        let mut child = parent.clone();
+        // Reading an untouched zero frame materializes nothing and
+        // copies nothing, in either image.
+        let mut out = [0xffu8; PAGE_SIZE];
+        child.read_frame(Mfn::new(2), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        assert_eq!(child.snapshot_stats().frames_copied, 0);
+        // Writing a zero frame in the child materializes a private page
+        // that is not a COW copy and stays invisible to the parent.
+        child.write(Mfn::new(2).base(), b"child").unwrap();
+        assert_eq!(child.snapshot_stats().frames_copied, 0);
+        parent.read_frame(Mfn::new(2), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "the parent's frame is still zero");
+        // zero_frame returns the child's frame to the unmaterialized
+        // representation.
+        child.zero_frame(Mfn::new(2)).unwrap();
+        child.read_frame(Mfn::new(2), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn deep_copy_shares_nothing() {
+        let mut parent = MachineMemory::new(4);
+        parent.write(PhysAddr::new(0), b"data").unwrap();
+        let deep = parent.deep_copy();
+        assert_eq!(deep.snapshot_stats().frames_shared, 0);
+        assert_eq!(parent.snapshot_stats().frames_shared, 0);
+        let mut buf = [0u8; 4];
+        deep.read(PhysAddr::new(0), &mut buf).unwrap();
+        assert_eq!(&buf, b"data");
+    }
+
+    #[test]
+    fn data_writes_never_bump_the_pt_generation() {
+        let mut mem = MachineMemory::new(4);
+        mem.info_mut(Mfn::new(0)).unwrap().assign(DomainId::new(1), PageType::Writable);
+        let before = mem.pt_generation();
+        mem.write_u64(PhysAddr::new(8), 0x4141).unwrap();
+        mem.write(Mfn::new(2).base(), b"untyped frame").unwrap();
+        assert_eq!(mem.pt_generation(), before, "data writes must not flush the TLB");
+    }
+
+    #[test]
+    fn page_table_writes_always_bump_the_pt_generation() {
+        let mut mem = MachineMemory::new(4);
+        mem.info_mut(Mfn::new(1)).unwrap().assign(DomainId::new(1), PageType::L1PageTable);
+        let before = mem.pt_generation();
+        mem.write_u64(Mfn::new(1).base().offset(16), 0xdead).unwrap();
+        assert!(mem.pt_generation() > before, "a PTE write must flush the TLB");
+        let before = mem.pt_generation();
+        mem.zero_frame(Mfn::new(1)).unwrap();
+        assert!(mem.pt_generation() > before, "zeroing a page table must flush too");
+    }
+
+    #[test]
+    fn accounting_mutation_of_a_page_table_bumps_the_generation() {
+        let mut mem = MachineMemory::new(4);
+        mem.info_mut(Mfn::new(1)).unwrap().assign(DomainId::new(1), PageType::L2PageTable);
+        let before = mem.pt_generation();
+        // A demotion (or any accounting touch) of a page-table frame
+        // must invalidate cached walks through it.
+        mem.info_mut(Mfn::new(1)).unwrap().set_type_unchecked(PageType::Writable);
+        assert!(mem.pt_generation() > before);
+        // But accounting touches on data frames stay silent.
+        let before = mem.pt_generation();
+        mem.info_mut(Mfn::new(2)).unwrap().assign(DomainId::new(1), PageType::Writable);
+        assert_eq!(mem.pt_generation(), before);
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip_arbitrary_spans(
@@ -310,6 +559,43 @@ mod tests {
             mem.write_u64(PhysAddr::new(b), vb).unwrap();
             prop_assert_eq!(mem.read_u64(PhysAddr::new(a)).unwrap(), va);
             prop_assert_eq!(mem.read_u64(PhysAddr::new(b)).unwrap(), vb);
+        }
+
+        /// COW aliasing: interleaved writes on a snapshot and its parent
+        /// never observe each other, regardless of order or overlap.
+        #[test]
+        fn prop_snapshot_and_parent_never_alias(
+            ops in proptest::collection::vec(
+                (any::<bool>(), 0u64..(4 * PAGE_SIZE as u64 - 8), any::<u64>()),
+                1..24,
+            ),
+        ) {
+            let mut parent = MachineMemory::new(4);
+            parent.write_u64(PhysAddr::new(0), 0x5eed).unwrap();
+            let mut child = parent.clone();
+            // Shadow models: what each image should contain.
+            let mut parent_model = std::collections::BTreeMap::new();
+            let mut child_model = std::collections::BTreeMap::new();
+            parent_model.insert(0u64, 0x5eedu64);
+            child_model.insert(0u64, 0x5eedu64);
+            for &(to_child, addr, value) in &ops {
+                // Keep writes 8-byte aligned so the shadow model stays a
+                // simple map of independent u64 slots.
+                let addr = addr & !7;
+                if to_child {
+                    child.write_u64(PhysAddr::new(addr), value).unwrap();
+                    child_model.insert(addr, value);
+                } else {
+                    parent.write_u64(PhysAddr::new(addr), value).unwrap();
+                    parent_model.insert(addr, value);
+                }
+            }
+            for (&addr, &value) in &parent_model {
+                prop_assert_eq!(parent.read_u64(PhysAddr::new(addr)).unwrap(), value);
+            }
+            for (&addr, &value) in &child_model {
+                prop_assert_eq!(child.read_u64(PhysAddr::new(addr)).unwrap(), value);
+            }
         }
     }
 }

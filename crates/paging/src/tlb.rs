@@ -1,0 +1,778 @@
+//! A software TLB for the translation hot path.
+//!
+//! [`walk`] reads nothing but frame *contents* (and the fixed installed
+//! range), so a cached translation stays valid exactly as long as no
+//! frame it visited is rewritten. The cache exploits the structure of
+//! that statement instead of tracking individual frames:
+//!
+//! * **Fill rule** — a walk is cached only if *every* visited table
+//!   frame is typed as a page table in [`PageInfo`]. Walks through
+//!   forged chains in writable data frames (the XSA-212 style) or
+//!   through hypervisor-private frames are never cached, so writes to
+//!   such frames can never strand a stale entry.
+//! * **Invalidation rule** — [`MachineMemory`] bumps a page-table write
+//!   generation on every store to (or accounting mutation of) a
+//!   page-table-typed frame. The cache compares generations on every
+//!   lookup and flushes wholesale on mismatch. Data writes never flush;
+//!   PTE writes always do — including injector writes that corrupt a
+//!   PTE behind the hypervisor's back, which is what keeps the paper's
+//!   audit-walk semantics intact: a monitor walk after injection always
+//!   sees the corruption.
+//!
+//! Entries are keyed by `(CR3, VPN, size class, walk policy)` with
+//! separate probes for 4 KiB, 2 MiB and 1 GiB classes, direct-mapped
+//! into a small slot array. Cached superpage hits re-check that the
+//! reconstructed physical frame is installed, because different offsets
+//! inside one superpage can fall off the end of machine memory.
+//!
+//! [`PageInfo`]: hvsim_mem::PageInfo
+
+use crate::walk::{walk, MappingLevel, Translation, WalkPolicy, WalkStep};
+use crate::PageFault;
+use hvsim_mem::{MachineMemory, Mfn, PhysAddr, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Direct-mapped slot count; must be a power of two.
+const TLB_SLOTS: usize = 256;
+
+/// Hit/miss counters, reported per campaign cell and aggregated into the
+/// `tlb.hits` / `tlb.misses` observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translations served from the cache.
+    pub hits: u64,
+    /// Translations that fell through to a full walk while the cache was
+    /// enabled (faulting walks included).
+    pub misses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    cr3: Mfn,
+    /// `va >> shift` for the entry's size class, so one entry covers the
+    /// whole mapped region (page or superpage).
+    vpn: u64,
+    /// The [`WalkPolicy::forbid_writable_selfmap`] bit the walk ran under.
+    hardened: bool,
+    level: MappingLevel,
+    /// Base frame of the leaf mapping.
+    base: Mfn,
+    /// The visited steps, for exact [`Translation`] reconstruction.
+    steps: [WalkStep; 4],
+    n_steps: u8,
+}
+
+impl MappingLevel {
+    fn page_shift(self) -> u32 {
+        match self {
+            MappingLevel::Page4K => 12,
+            MappingLevel::Page2M => 21,
+            MappingLevel::Page1G => 30,
+        }
+    }
+
+    fn offset_mask(self) -> u64 {
+        (1u64 << self.page_shift()) - 1
+    }
+
+    fn class_salt(self) -> u64 {
+        match self {
+            MappingLevel::Page4K => 0,
+            MappingLevel::Page2M => 0x5555_5555_5555_5555,
+            MappingLevel::Page1G => 0xaaaa_aaaa_aaaa_aaaa,
+        }
+    }
+}
+
+const PROBE_ORDER: [MappingLevel; 3] =
+    [MappingLevel::Page4K, MappingLevel::Page2M, MappingLevel::Page1G];
+
+#[derive(Debug, Default)]
+struct Tlb {
+    /// The [`MachineMemory::pt_generation`] the cached entries were
+    /// filled under.
+    gen: u64,
+    /// Lazily allocated so untouched clones cost nothing.
+    slots: Vec<Option<TlbEntry>>,
+}
+
+/// A lock-free single-entry front cache (the "L0") for the phys-only
+/// fast path: one seqlocked record of the most recent cacheable
+/// translation. Readers never take the mutex; writers (fills and
+/// flushes) are already serialized by the main TLB lock. An entry is
+/// valid only when the stored page-table generation still equals the
+/// memory's current one, so PTE writes invalidate it for free — no
+/// explicit shootdown.
+#[derive(Debug)]
+struct L0Cache {
+    /// Seqlock word: even = stable, odd = write in progress.
+    seq: AtomicU64,
+    /// `va >> page_shift(level)` of the cached mapping.
+    vpn: AtomicU64,
+    /// Packed `cr3.raw() << 3 | level << 1 | hardened`.
+    meta: AtomicU64,
+    /// Base frame of the leaf mapping.
+    base: AtomicU64,
+    /// The page-table generation the entry was filled under.
+    gen: AtomicU64,
+}
+
+/// `meta` value that can never match a real packed key.
+const L0_EMPTY_META: u64 = u64::MAX;
+
+impl L0Cache {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            vpn: AtomicU64::new(u64::MAX),
+            meta: AtomicU64::new(L0_EMPTY_META),
+            base: AtomicU64::new(0),
+            gen: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn pack_meta(cr3: Mfn, level: MappingLevel, hardened: bool) -> Option<u64> {
+        // Frame numbers are tiny in this model; refuse to cache the
+        // (impossible in practice) case where packing would truncate.
+        if cr3.raw() >= (1 << 60) {
+            return None;
+        }
+        let level_bits = match level {
+            MappingLevel::Page4K => 0u64,
+            MappingLevel::Page2M => 1,
+            MappingLevel::Page1G => 2,
+        };
+        Some((cr3.raw() << 3) | (level_bits << 1) | u64::from(hardened))
+    }
+
+    fn unpack_level(meta: u64) -> Option<MappingLevel> {
+        match (meta >> 1) & 0b11 {
+            0 => Some(MappingLevel::Page4K),
+            1 => Some(MappingLevel::Page2M),
+            2 => Some(MappingLevel::Page1G),
+            _ => None,
+        }
+    }
+
+    /// Seqlock write; callers must hold the main TLB mutex so writers
+    /// never race each other.
+    fn store(&self, vpn: u64, meta: u64, base: u64, gen: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.vpn.store(vpn, Ordering::Relaxed);
+        self.meta.store(meta, Ordering::Relaxed);
+        self.base.store(base, Ordering::Relaxed);
+        self.gen.store(gen, Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    fn clear(&self) {
+        self.store(u64::MAX, L0_EMPTY_META, 0, u64::MAX);
+    }
+
+    /// Lock-free probe: a consistent, generation-current, key-matching
+    /// snapshot yields the physical address.
+    fn probe(
+        &self,
+        mem: &MachineMemory,
+        cr3: Mfn,
+        va: VirtAddr,
+        policy: &WalkPolicy,
+    ) -> Option<PhysAddr> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return None;
+        }
+        let vpn = self.vpn.load(Ordering::Relaxed);
+        let meta = self.meta.load(Ordering::Relaxed);
+        let base = self.base.load(Ordering::Relaxed);
+        let gen = self.gen.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != s1 {
+            return None;
+        }
+        if gen != mem.pt_generation() {
+            return None;
+        }
+        let level = Self::unpack_level(meta)?;
+        if vpn != va.raw() >> level.page_shift()
+            || Self::pack_meta(cr3, level, policy.forbid_writable_selfmap) != Some(meta)
+        {
+            return None;
+        }
+        let phys = Mfn::new(base).base().offset(va.raw() & level.offset_mask());
+        if !mem.contains(phys.frame()) {
+            return None;
+        }
+        Some(phys)
+    }
+}
+
+impl Tlb {
+    fn slot_index(cr3: Mfn, vpn: u64, level: MappingLevel) -> usize {
+        let h = (vpn ^ level.class_salt())
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(cr3.raw().rotate_left(17));
+        ((h >> 40) as usize) & (TLB_SLOTS - 1)
+    }
+
+    fn flush(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+
+    /// Flushes if the page-table write generation moved since the last
+    /// fill.
+    fn sync_generation(&mut self, mem: &MachineMemory) {
+        let gen = mem.pt_generation();
+        if gen != self.gen {
+            self.flush();
+            self.gen = gen;
+        }
+    }
+
+    /// Probes all size classes for `va`; returns the matching slot index
+    /// and the reconstructed physical address (no entry copy — the hot
+    /// path only needs the address). Superpage reconstruction
+    /// re-validates that the physical frame is installed.
+    fn probe(
+        &self,
+        mem: &MachineMemory,
+        cr3: Mfn,
+        va: VirtAddr,
+        policy: &WalkPolicy,
+    ) -> Option<(usize, PhysAddr)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        for level in PROBE_ORDER {
+            let vpn = va.raw() >> level.page_shift();
+            let idx = Self::slot_index(cr3, vpn, level);
+            if let Some(entry) = &self.slots[idx] {
+                if entry.cr3 == cr3
+                    && entry.vpn == vpn
+                    && entry.level == level
+                    && entry.hardened == policy.forbid_writable_selfmap
+                {
+                    let phys = entry.base.base().offset(va.raw() & level.offset_mask());
+                    if mem.contains(phys.frame()) {
+                        return Some((idx, phys));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Caches a successful walk — but only if every visited table frame
+    /// is page-table-typed, so the generation counter is guaranteed to
+    /// cover every byte the walk depended on. Returns the filled slot
+    /// index so the caller can mirror the entry into the L0 front cache.
+    fn insert(
+        &mut self,
+        mem: &MachineMemory,
+        t: &Translation,
+        policy: &WalkPolicy,
+    ) -> Option<usize> {
+        let all_typed = t.steps.iter().all(|s| {
+            mem.info(s.table)
+                .map(|i| i.page_type().is_page_table())
+                .unwrap_or(false)
+        });
+        if !all_typed || t.steps.is_empty() || t.steps.len() > 4 {
+            return None;
+        }
+        if self.slots.is_empty() {
+            self.slots.resize_with(TLB_SLOTS, || None);
+        }
+        let mut steps = [t.steps[0]; 4];
+        steps[..t.steps.len()].copy_from_slice(&t.steps);
+        let vpn = t.va.raw() >> t.level.page_shift();
+        let idx = Self::slot_index(t.cr3_frame(), vpn, t.level);
+        self.slots[idx] = Some(TlbEntry {
+            cr3: t.cr3_frame(),
+            vpn,
+            hardened: policy.forbid_writable_selfmap,
+            level: t.level,
+            // The leaf entry's frame: the walk computes superpage
+            // physical addresses relative to it, and the model does not
+            // require it to be superpage-aligned.
+            base: t.steps[t.steps.len() - 1].entry.mfn(),
+            steps,
+            n_steps: t.steps.len() as u8,
+        });
+        Some(idx)
+    }
+}
+
+impl Translation {
+    /// The root table frame this translation started from (the first
+    /// step's table).
+    fn cr3_frame(&self) -> Mfn {
+        self.steps[0].table
+    }
+}
+
+/// A software TLB shared behind `&self` translation paths.
+///
+/// Cloning yields a TLB with the same enablement but an **empty** cache
+/// and zeroed [`TlbStats`] — caches are semantically transparent, and
+/// per-cell statistics must start from zero in each snapshot.
+///
+/// Internally this is two tiers: a mutex-protected direct-mapped slot
+/// array (the "L1", serving [`SharedTlb::translate`] with full step
+/// reconstruction) fronted by a lock-free seqlocked single entry (the
+/// "L0") that serves repeated [`SharedTlb::phys_of`] resolutions of the
+/// same page without ever touching the mutex. Hit/miss counters and the
+/// enable flag are atomics so the fast path stays lock-free.
+#[derive(Debug)]
+pub struct SharedTlb {
+    inner: Mutex<Tlb>,
+    l0: L0Cache,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for SharedTlb {
+    fn clone(&self) -> Self {
+        SharedTlb::new(self.is_enabled())
+    }
+}
+
+impl Default for SharedTlb {
+    fn default() -> Self {
+        SharedTlb::new(true)
+    }
+}
+
+impl SharedTlb {
+    /// Creates an empty TLB.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            inner: Mutex::new(Tlb::default()),
+            l0: L0Cache::empty(),
+            enabled: AtomicBool::new(enabled),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Tlb> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mirrors a freshly probed/inserted L1 entry into the L0 front
+    /// cache. Callers hold the mutex, which is what serializes seqlock
+    /// writers.
+    fn l0_fill(&self, entry: &TlbEntry, gen: u64) {
+        if let Some(meta) = L0Cache::pack_meta(entry.cr3, entry.level, entry.hardened) {
+            self.l0.store(entry.vpn, meta, entry.base.raw(), gen);
+        }
+    }
+
+    /// `true` if lookups consult the cache.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the cache. Disabling flushes, so re-enabling
+    /// never resurrects entries filled before the toggle.
+    pub fn set_enabled(&self, enabled: bool) {
+        let mut tlb = self.lock();
+        self.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            tlb.flush();
+            self.l0.clear();
+        }
+    }
+
+    /// Drops every cached entry (statistics are kept).
+    pub fn flush(&self) {
+        let mut tlb = self.lock();
+        tlb.flush();
+        self.l0.clear();
+    }
+
+    /// Hit/miss counters accumulated since creation (or since this TLB
+    /// was cloned from another).
+    pub fn stats(&self) -> TlbStats {
+        TlbStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Translates `va` like [`walk`], consulting and filling the cache.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`PageFault`]s [`walk`] returns; faulting walks are
+    /// never cached.
+    pub fn translate(
+        &self,
+        mem: &MachineMemory,
+        cr3: Mfn,
+        va: VirtAddr,
+        policy: &WalkPolicy,
+    ) -> Result<Translation, PageFault> {
+        if !self.is_enabled() {
+            return walk(mem, cr3, va, policy);
+        }
+        let mut tlb = self.lock();
+        tlb.sync_generation(mem);
+        if let Some((idx, phys)) = tlb.probe(mem, cr3, va, policy) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let entry = tlb.slots[idx].as_ref().expect("probe returned a filled slot");
+            self.l0_fill(entry, tlb.gen);
+            return Ok(Translation {
+                va,
+                mfn: phys.frame(),
+                phys,
+                level: entry.level,
+                steps: entry.steps[..entry.n_steps as usize].to_vec(),
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t = walk(mem, cr3, va, policy)?;
+        if let Some(idx) = tlb.insert(mem, &t, policy) {
+            let gen = tlb.gen;
+            if let Some(entry) = &tlb.slots[idx] {
+                self.l0_fill(entry, gen);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Physical-address-only fast path: like [`SharedTlb::translate`]
+    /// but a cache hit allocates nothing (no step vector), which is what
+    /// makes repeated same-page resolution O(1).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`PageFault`]s [`walk`] returns.
+    pub fn phys_of(
+        &self,
+        mem: &MachineMemory,
+        cr3: Mfn,
+        va: VirtAddr,
+        policy: &WalkPolicy,
+    ) -> Result<PhysAddr, PageFault> {
+        if !self.is_enabled() {
+            return walk(mem, cr3, va, policy).map(|t| t.phys);
+        }
+        // Lock-free front cache: repeated resolutions of the same page
+        // never touch the mutex. The generation check makes stale
+        // entries (any PTE write since the fill) miss automatically.
+        if let Some(phys) = self.l0.probe(mem, cr3, va, policy) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(phys);
+        }
+        let mut tlb = self.lock();
+        tlb.sync_generation(mem);
+        if let Some((idx, phys)) = tlb.probe(mem, cr3, va, policy) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let entry = tlb.slots[idx].as_ref().expect("probe returned a filled slot");
+            self.l0_fill(entry, tlb.gen);
+            return Ok(phys);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t = walk(mem, cr3, va, policy)?;
+        if let Some(idx) = tlb.insert(mem, &t, policy) {
+            let gen = tlb.gen;
+            if let Some(entry) = &tlb.slots[idx] {
+                self.l0_fill(entry, gen);
+            }
+        }
+        Ok(t.phys)
+    }
+
+    /// Returns the physical slot address of the L1 entry mapping `va`,
+    /// if a valid 4 KiB translation for it is cached. This matches what
+    /// [`crate::pte_slot`]`(mem, cr3, va, 1)` would return (a cached hit
+    /// implies every level above L1 is present), letting PTE-update
+    /// hypercalls skip the locating walk.
+    pub fn cached_l1_slot(&self, mem: &MachineMemory, cr3: Mfn, va: VirtAddr) -> Option<PhysAddr> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut tlb = self.lock();
+        tlb.sync_generation(mem);
+        let vpn = va.raw() >> MappingLevel::Page4K.page_shift();
+        let idx = Tlb::slot_index(cr3, vpn, MappingLevel::Page4K);
+        let entry = tlb.slots.get(idx).copied().flatten()?;
+        if entry.cr3 != cr3 || entry.vpn != vpn || entry.level != MappingLevel::Page4K {
+            return None;
+        }
+        let l1 = entry.steps[..entry.n_steps as usize]
+            .iter()
+            .find(|s| s.level == 1)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(l1.table.base().offset(l1.index as u64 * 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compose_va, PageTableEntry, PteFlags, VaIndices};
+    use hvsim_mem::{DomainId, PageType};
+
+    const LINK: PteFlags = PteFlags::PRESENT.union(PteFlags::RW).union(PteFlags::USER);
+
+    struct Harness {
+        mem: MachineMemory,
+        cr3: Mfn,
+        next_free: u64,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Self {
+                mem: MachineMemory::new(64),
+                cr3: Mfn::new(1),
+                next_free: 2,
+            }
+        }
+
+        fn fresh(&mut self, level: u8) -> Mfn {
+            let mfn = Mfn::new(self.next_free);
+            self.next_free += 1;
+            self.type_table(mfn, level);
+            mfn
+        }
+
+        fn type_table(&mut self, mfn: Mfn, level: u8) {
+            self.mem.info_mut(mfn).unwrap().assign(
+                DomainId::new(1),
+                PageType::from_page_table_level(level).unwrap(),
+            );
+        }
+
+        fn write_entry(&mut self, table: Mfn, index: usize, entry: PageTableEntry) {
+            self.mem
+                .write_u64(table.base().offset(index as u64 * 8), entry.raw())
+                .unwrap();
+        }
+
+        /// Maps `va` -> `target` through properly typed page tables.
+        fn map(&mut self, va: VirtAddr, target: Mfn) -> (Mfn, usize) {
+            self.type_table(self.cr3, 4);
+            let idx = VaIndices::of(va);
+            let l3 = self.fresh(3);
+            let l2 = self.fresh(2);
+            let l1 = self.fresh(1);
+            self.write_entry(self.cr3, idx.l4, PageTableEntry::new(l3, LINK));
+            self.write_entry(l3, idx.l3, PageTableEntry::new(l2, LINK));
+            self.write_entry(l2, idx.l2, PageTableEntry::new(l1, LINK));
+            self.write_entry(l1, idx.l1, PageTableEntry::new(target, LINK));
+            (l1, idx.l1)
+        }
+    }
+
+    #[test]
+    fn hit_reproduces_the_walk_exactly() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        let miss = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        let hit = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        let raw = walk(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(miss, raw);
+        assert_eq!(hit, raw, "a cached translation must be indistinguishable");
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+        // Another offset in the same page also hits.
+        let other = tlb
+            .translate(&h.mem, h.cr3, VirtAddr::new(0x40_0000_1010), &policy)
+            .unwrap();
+        assert_eq!(other.phys, Mfn::new(50).base().offset(0x10));
+        assert_eq!(tlb.stats().hits, 2);
+    }
+
+    #[test]
+    fn pte_write_invalidates_cached_translation() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        let (l1, l1_idx) = h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        // Corrupt the L1 PTE behind the TLB's back — the injector path.
+        h.write_entry(l1, l1_idx, PageTableEntry::new(Mfn::new(51), LINK));
+        let t = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(t.mfn, Mfn::new(51), "the walk after a PTE write must see the new mapping");
+    }
+
+    #[test]
+    fn data_writes_do_not_flush() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        h.map(va, Mfn::new(50));
+        h.mem
+            .info_mut(Mfn::new(50))
+            .unwrap()
+            .assign(DomainId::new(1), PageType::Writable);
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        h.mem.write_u64(Mfn::new(50).base(), 0x4141).unwrap();
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn walks_through_untyped_frames_are_never_cached() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        let (l1, _) = h.map(va, Mfn::new(50));
+        // Demote the L1 to a plain writable frame: a forged chain.
+        h.mem
+            .info_mut(l1)
+            .unwrap()
+            .set_type_unchecked(PageType::Writable);
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(
+            tlb.stats(),
+            TlbStats { hits: 0, misses: 2 },
+            "walks through non-page-table frames must not be cached"
+        );
+    }
+
+    #[test]
+    fn superpage_hits_cover_the_region_and_recheck_bounds() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new((3u64 << 21) | 0x5123);
+        h.type_table(h.cr3, 4);
+        let idx = VaIndices::of(va);
+        let l3 = h.fresh(3);
+        let l2 = h.fresh(2);
+        h.write_entry(h.cr3, idx.l4, PageTableEntry::new(l3, LINK));
+        h.write_entry(l3, idx.l3, PageTableEntry::new(l2, LINK));
+        h.write_entry(l2, idx.l2, PageTableEntry::new(Mfn::new(32), LINK | PteFlags::PSE));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        let first = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(first.level, MappingLevel::Page2M);
+        // A different 4 KiB page inside the same 2 MiB region hits.
+        let other_va = VirtAddr::new((3u64 << 21) | 0x1_f00d);
+        let hit = tlb.translate(&h.mem, h.cr3, other_va, &policy).unwrap();
+        assert_eq!(hit, walk(&h.mem, h.cr3, other_va, &policy).unwrap());
+        assert_eq!(tlb.stats().hits, 1);
+        // An offset that runs past installed memory faults instead of
+        // returning a fabricated hit (frame 32 + 2 MiB > 64 frames).
+        let oob_va = VirtAddr::new((3u64 << 21) | 0x10_0000);
+        assert!(tlb.translate(&h.mem, h.cr3, oob_va, &policy).is_err());
+        assert!(walk(&h.mem, h.cr3, oob_va, &policy).is_err(), "the raw walk agrees");
+    }
+
+    #[test]
+    fn policy_variants_do_not_share_entries() {
+        let mut h = Harness::new();
+        let va = compose_va(42, 42, 42, 42, 0);
+        h.type_table(h.cr3, 4);
+        // Read-only self-map: legal under both policies but the hardened
+        // walk must still be computed under its own rules.
+        h.write_entry(h.cr3, 42, PageTableEntry::new(h.cr3, LINK.difference(PteFlags::RW)));
+        let tlb = SharedTlb::new(true);
+        let classic = WalkPolicy::default();
+        let hardened = WalkPolicy {
+            forbid_writable_selfmap: true,
+        };
+        tlb.translate(&h.mem, h.cr3, va, &classic).unwrap();
+        tlb.translate(&h.mem, h.cr3, va, &hardened).unwrap();
+        assert_eq!(tlb.stats().misses, 2, "different policies never share entries");
+    }
+
+    #[test]
+    fn disabled_tlb_is_a_transparent_walk() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(false);
+        let policy = WalkPolicy::default();
+        let t = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(t, walk(&h.mem, h.cr3, va, &policy).unwrap());
+        assert_eq!(tlb.stats(), TlbStats::default());
+    }
+
+    #[test]
+    fn clone_preserves_enablement_but_not_entries() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        let clone = tlb.clone();
+        assert!(clone.is_enabled());
+        assert_eq!(clone.stats(), TlbStats::default());
+        clone.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(clone.stats().misses, 1, "the clone starts cold");
+    }
+
+    #[test]
+    fn cached_l1_slot_matches_pte_slot() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        assert!(tlb.cached_l1_slot(&h.mem, h.cr3, va).is_none(), "cold cache");
+        tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+        let cached = tlb.cached_l1_slot(&h.mem, h.cr3, va).unwrap();
+        let (slot, _) = crate::pte_slot(&h.mem, h.cr3, va, 1).unwrap();
+        assert_eq!(cached, slot);
+        // A PTE write drops the cached slot too.
+        h.mem.write_u64(slot, 0).unwrap();
+        assert!(tlb.cached_l1_slot(&h.mem, h.cr3, va).is_none());
+    }
+
+    #[test]
+    fn phys_of_fast_path_agrees_with_translate() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        let p1 = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        let p2 = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(p1, Mfn::new(50).base().offset(0xabc));
+        assert_eq!(p1, p2);
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn phys_of_front_cache_respects_pt_generation() {
+        let mut h = Harness::new();
+        let va = VirtAddr::new(0x40_0000_1abc);
+        let (l1, l1_idx) = h.map(va, Mfn::new(50));
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        // Fill and then hit the lock-free L0 front cache.
+        tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        let hit = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(hit, Mfn::new(50).base().offset(0xabc));
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+        // An injector-style PTE write behind the TLB's back bumps the
+        // page-table generation; the L0 entry must miss, not serve the
+        // stale frame.
+        h.write_entry(l1, l1_idx, PageTableEntry::new(Mfn::new(51), LINK));
+        let after = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(after, Mfn::new(51).base().offset(0xabc));
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 2 });
+        // flush() also kills the front cache.
+        tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        tlb.flush();
+        tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
+        assert_eq!(tlb.stats().misses, 3, "flush must clear the L0 too");
+    }
+}
