@@ -3,31 +3,55 @@
 //! campaign throughput in `BENCH_campaign.json`.
 //!
 //! By default the campaign runs once per jobs level (1, 4, 8) and
-//! `BENCH_campaign.json` holds one throughput entry per level — each
-//! with the copy-on-write snapshot stats and software-TLB hit/miss
-//! counters — so the scaling curve and the COW/TLB win are visible in
-//! a single artifact. `--jobs N` restricts the sweep to one level.
+//! `BENCH_campaign.json` holds the throughput entries under `table3`
+//! (one per level, with COW snapshot stats and software-TLB counters)
+//! plus a `stream` array: the streamed engine on the same grid per
+//! level and — for the default sweep — a synthetic ~100k-cell grid
+//! entry proving bounded-memory throughput at scale. `--jobs N`
+//! restricts the sweep to one level (and skips the synthetic entry
+//! unless `--synthetic-cells` asks for it).
 //!
 //! Flags:
 //!
 //! * `--jobs N` — run a single worker count instead of the 1/4/8 sweep
+//! * `--stream` — run the campaign through the streaming engine instead
+//!   of the collect-everything engine; prints the per-key summary and
+//!   pipeline stats, and `--report-out` writes the normalized
+//!   `StreamReport` (mergeable across shards)
+//! * `--queue-depth N` — bounded work-queue capacity (streaming)
+//! * `--shard i/n` — run only slots `i, i+n, i+2n, …` of the grid;
+//!   shard reports merge back to the unsharded report byte-for-byte
+//! * `--synthetic-cells N` — size of the synthetic streamed grid entry
+//!   in `BENCH_campaign.json` (rounded up to a multiple of 3; 0
+//!   disables; default ~100k for the full sweep, 0 with `--jobs`)
 //! * `--no-tlb` — disable the software TLB (the report must not change)
-//! * `--report-out FILE` — write the *normalized* cell report as JSON
-//!   (what CI diffs across jobs levels and TLB settings)
+//! * `--report-out FILE` — write the *normalized* report as JSON
+//!   (what CI diffs across jobs levels, TLB settings, and shardings)
 //! * `--trace-out FILE` — write the campaign's structured trace as JSONL
 //! * `--metrics-out FILE` — write the metrics-registry snapshot as JSON
 //! * `--json` — also print the full report as JSON
 
-use bench::paper_campaign;
+use bench::{paper_campaign, synthetic_campaign};
 use hvsim::XenVersion;
 use hvsim_obs::{to_jsonl, MetricsRegistry, Tracer};
-use intrusion_core::{CampaignReport, CampaignThroughput, Mode, PhaseLatency};
+use intrusion_core::{
+    Campaign, CampaignReport, CampaignThroughput, Mode, PhaseLatency, Shard, StreamBench,
+    StreamOutcome,
+};
 use std::process::exit;
 use std::time::Instant;
+
+/// Deterministic seed for the synthetic streamed grid entry.
+const SYNTHETIC_SEED: u64 = 0xD5_2023;
 
 struct Options {
     /// `None` runs the default 1/4/8 sweep.
     jobs: Option<usize>,
+    stream: bool,
+    queue_depth: Option<usize>,
+    shard: Option<Shard>,
+    /// `None` = default policy (~100k for the full sweep, 0 otherwise).
+    synthetic_cells: Option<u64>,
     no_tlb: bool,
     report_out: Option<String>,
     trace_out: Option<String>,
@@ -38,6 +62,10 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         jobs: None,
+        stream: false,
+        queue_depth: None,
+        shard: None,
+        synthetic_cells: None,
         no_tlb: false,
         report_out: None,
         trace_out: None,
@@ -60,6 +88,28 @@ fn parse_args() -> Options {
                     exit(2);
                 }));
             }
+            "--stream" => opts.stream = true,
+            "--queue-depth" => {
+                let raw = value("--queue-depth");
+                opts.queue_depth = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--queue-depth needs a positive integer, got '{raw}'");
+                    exit(2);
+                }));
+            }
+            "--shard" => {
+                let raw = value("--shard");
+                opts.shard = Some(Shard::parse(&raw).unwrap_or_else(|e| {
+                    eprintln!("--shard: {e}");
+                    exit(2);
+                }));
+            }
+            "--synthetic-cells" => {
+                let raw = value("--synthetic-cells");
+                opts.synthetic_cells = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--synthetic-cells needs an integer, got '{raw}'");
+                    exit(2);
+                }));
+            }
             "--no-tlb" => opts.no_tlb = true,
             "--report-out" => opts.report_out = Some(value("--report-out")),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
@@ -68,7 +118,8 @@ fn parse_args() -> Options {
             other => {
                 eprintln!("unknown argument '{other}'");
                 eprintln!(
-                    "usage: table3_campaign [--jobs N] [--no-tlb] [--report-out FILE] \
+                    "usage: table3_campaign [--jobs N] [--stream] [--queue-depth N] \
+                     [--shard i/n] [--synthetic-cells N] [--no-tlb] [--report-out FILE] \
                      [--trace-out FILE] [--metrics-out FILE] [--json]"
                 );
                 exit(2);
@@ -175,6 +226,54 @@ fn print_report(report: &CampaignReport) {
     }
 }
 
+/// The paper campaign with every grid/engine option applied.
+fn configured_campaign(opts: &Options, workers: usize) -> Campaign {
+    let mut campaign = paper_campaign().jobs(workers);
+    if opts.no_tlb {
+        campaign = campaign.use_tlb(false);
+    }
+    if let Some(depth) = opts.queue_depth {
+        campaign = campaign.queue_depth(depth);
+    }
+    if let Some(shard) = opts.shard {
+        campaign = campaign.shard(shard);
+    }
+    campaign
+}
+
+fn print_stream(outcome: &StreamOutcome) {
+    let r = &outcome.report;
+    println!("{}", r.render_keys());
+    println!(
+        "stream totals: {} cells ({} completed, {} degraded), {} erroneous states, \
+         {} violated, {} handled, {} hypercalls",
+        r.cells, r.completed, r.degraded, r.erroneous_states, r.violated_cells, r.handled,
+        r.hypercalls,
+    );
+    let s = outcome.stats;
+    println!(
+        "  pipeline: {} workers, queue depth {}, {:.1} ms, {:.0} cells/sec, \
+         peak resident {} cells",
+        s.workers,
+        s.queue_depth,
+        s.elapsed_us as f64 / 1000.0,
+        s.cells_per_sec,
+        s.peak_resident_cells,
+    );
+    println!(
+        "  stalls: generator {} us, workers {} us; merge {} us, base-world wait {} us",
+        s.queue_stall_us, s.worker_stall_us, s.merge_us, s.base_world_wait_us,
+    );
+}
+
+/// `BENCH_campaign.json`: the classic throughput sweep under `table3`,
+/// streamed-engine records under `stream`.
+#[derive(serde::Serialize)]
+struct BenchFile {
+    table3: Vec<CampaignThroughput>,
+    stream: Vec<StreamBench>,
+}
+
 fn main() {
     let opts = parse_args();
     let jobs_levels: Vec<usize> = match opts.jobs {
@@ -185,56 +284,134 @@ fn main() {
     let registry = MetricsRegistry::new();
 
     let mut entries: Vec<CampaignThroughput> = Vec::new();
-    let mut last_report: Option<CampaignReport> = None;
-    for (i, &workers) in jobs_levels.iter().enumerate() {
-        // The trace and metrics hooks are attached to the last level
-        // only, so `--trace-out` / `--metrics-out` describe one run
-        // instead of interleaving the whole sweep.
-        let last = i == jobs_levels.len() - 1;
-        let mut campaign = paper_campaign().jobs(workers);
-        if opts.no_tlb {
-            campaign = campaign.use_tlb(false);
-        }
-        if last {
-            campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
-        }
-        eprintln!(
-            "running the full campaign (24 cells, {workers} workers{}) ...",
-            if opts.no_tlb { ", TLB off" } else { "" }
-        );
-        let start = Instant::now();
-        let report = campaign.run();
-        let elapsed = start.elapsed();
-        entries.push(CampaignThroughput::new(&report, workers, elapsed.as_micros() as u64));
-        if last {
-            last_report = Some(report);
-        }
-    }
-    let report = last_report.expect("at least one jobs level ran");
-    print_report(&report);
+    let mut stream_entries: Vec<StreamBench> = Vec::new();
+    let shard_note = opts.shard.map(|s| format!(", shard {s}")).unwrap_or_default();
+    let tlb_note = if opts.no_tlb { ", TLB off" } else { "" };
 
-    // Throughput summary + machine-readable benchmark record: one entry
-    // per jobs level (always an array, even for a single `--jobs N`).
-    println!();
-    for t in &entries {
-        print_throughput(t);
+    // The normalized report written by `--report-out`: a classic
+    // CampaignReport or a mergeable StreamReport depending on engine.
+    let report_json: Option<String>;
+
+    if opts.stream {
+        let mut last_outcome: Option<StreamOutcome> = None;
+        for (i, &workers) in jobs_levels.iter().enumerate() {
+            // The trace and metrics hooks are attached to the last
+            // level only, so `--trace-out` / `--metrics-out` describe
+            // one run instead of interleaving the whole sweep.
+            let last = i == jobs_levels.len() - 1;
+            let mut campaign = configured_campaign(&opts, workers);
+            if last {
+                campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
+            }
+            eprintln!(
+                "streaming the full campaign ({} cells, {workers} workers{shard_note}{tlb_note}) ...",
+                campaign.grid().shard_len(opts.shard),
+            );
+            let outcome = campaign.run_streaming_with_jobs(workers);
+            stream_entries.push(outcome.bench_entry("table3"));
+            if last {
+                last_outcome = Some(outcome);
+            }
+        }
+        let outcome = last_outcome.expect("at least one jobs level ran");
+        print_stream(&outcome);
+        report_json = opts
+            .report_out
+            .is_some()
+            .then(|| outcome.report.normalized().to_json().expect("report serializes"));
+        if opts.json {
+            println!("\n{}", outcome.report.to_json().expect("report serializes"));
+        }
+    } else {
+        let mut last_report: Option<CampaignReport> = None;
+        for (i, &workers) in jobs_levels.iter().enumerate() {
+            let last = i == jobs_levels.len() - 1;
+            let mut campaign = configured_campaign(&opts, workers);
+            if last {
+                campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
+            }
+            eprintln!(
+                "running the full campaign ({} cells, {workers} workers{shard_note}{tlb_note}) ...",
+                campaign.grid().shard_len(opts.shard),
+            );
+            let start = Instant::now();
+            let report = campaign.run();
+            let elapsed = start.elapsed();
+            entries.push(CampaignThroughput::new(&report, workers, elapsed.as_micros() as u64));
+            if last {
+                last_report = Some(report);
+            }
+        }
+        let report = last_report.expect("at least one jobs level ran");
+        print_report(&report);
+
+        // Throughput summary: one entry per jobs level.
+        println!();
+        for t in &entries {
+            print_throughput(t);
+        }
+        println!("per-phase latency of the last run (completed vs degraded cells):");
+        let final_entry = entries.last().expect("entries is non-empty");
+        print_phase("boot", &final_entry.latency.boot);
+        print_phase("inject", &final_entry.latency.inject);
+        print_phase("monitor", &final_entry.latency.monitor);
+        report_json = opts
+            .report_out
+            .is_some()
+            .then(|| report.normalized().to_json().expect("report serializes"));
+        if opts.json {
+            println!("\n{}", report.to_json().expect("report serializes"));
+        }
     }
-    println!("per-phase latency of the last run (completed vs degraded cells):");
-    let final_entry = entries.last().expect("entries is non-empty");
-    print_phase("boot", &final_entry.latency.boot);
-    print_phase("inject", &final_entry.latency.inject);
-    print_phase("monitor", &final_entry.latency.monitor);
-    let bench = serde_json::to_string_pretty(&entries).expect("throughput serializes");
+
+    // The synthetic ~100k-cell streamed grid: proves the pipeline holds
+    // O(workers + queue depth) cells resident regardless of grid size.
+    // Default-on for the full sweep, off for explicit `--jobs` runs (CI
+    // determinism steps stay fast); `--synthetic-cells` overrides.
+    let synthetic_cells = opts.synthetic_cells.unwrap_or(if opts.jobs.is_none() { 100_002 } else { 0 });
+    if synthetic_cells > 0 {
+        let trials = synthetic_cells.div_ceil(3);
+        let workers = opts.jobs.unwrap_or(4);
+        let mut campaign = synthetic_campaign(SYNTHETIC_SEED, trials);
+        if let Some(depth) = opts.queue_depth {
+            campaign = campaign.queue_depth(depth);
+        }
+        eprintln!("streaming the synthetic grid ({} cells, {workers} workers) ...", trials * 3);
+        let outcome = campaign.run_streaming_with_jobs(workers);
+        let stats = outcome.stats;
+        assert!(
+            stats.peak_resident_cells <= stats.queue_depth + stats.workers + 1,
+            "resident cells must be O(workers + queue depth): peak {} > {} + {} + 1",
+            stats.peak_resident_cells,
+            stats.queue_depth,
+            stats.workers,
+        );
+        println!(
+            "\nsynthetic streamed grid: {} cells at {:.0} cells/sec, peak resident {} \
+             (bound {} = queue depth {} + workers {} + 1)",
+            outcome.report.cells,
+            stats.cells_per_sec,
+            stats.peak_resident_cells,
+            stats.queue_depth + stats.workers + 1,
+            stats.queue_depth,
+            stats.workers,
+        );
+        stream_entries.push(outcome.bench_entry(format!("synthetic_{}", trials * 3)));
+    }
+
+    let bench = serde_json::to_string_pretty(&BenchFile { table3: entries, stream: stream_entries })
+        .expect("throughput serializes");
     match std::fs::write("BENCH_campaign.json", bench) {
-        Ok(()) => eprintln!("wrote BENCH_campaign.json ({} jobs levels)", entries.len()),
+        Ok(()) => eprintln!("wrote BENCH_campaign.json"),
         Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
     }
 
     if let Some(path) = &opts.report_out {
         // The *normalized* report: per-cell timing and COW/TLB stats
         // zeroed, so runs at different jobs levels or TLB settings must
-        // produce byte-identical files (CI diffs them).
-        let json = report.normalized().to_json().expect("report serializes");
+        // produce byte-identical files (CI diffs them), and normalized
+        // streamed shard reports merge into normalized wholes.
+        let json = report_json.expect("report captured when --report-out is set");
         match std::fs::write(path, json) {
             Ok(()) => eprintln!("wrote normalized report to {path}"),
             Err(e) => {
@@ -263,10 +440,5 @@ fn main() {
                 exit(1);
             }
         }
-    }
-
-    println!("\nJSON report written to stdout of `--json` runs; cells: {}", report.cells().len());
-    if opts.json {
-        println!("{}", report.to_json().expect("report serializes"));
     }
 }

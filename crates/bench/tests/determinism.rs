@@ -3,9 +3,10 @@
 //! byte-identical normalized reports regardless of worker count or
 //! snapshot reuse, and the randomized sweep must be schedule-independent.
 
-use bench::{attack_world, paper_campaign};
+use bench::{attack_world, paper_campaign, synthetic_campaign};
 use hvsim::XenVersion;
-use intrusion_core::{RandomizedCampaign, TargetRegion};
+use intrusion_core::{RandomizedCampaign, Shard, StreamReport, TargetRegion};
+use proptest::prelude::*;
 
 #[test]
 fn paper_campaign_report_is_worker_count_independent() {
@@ -61,4 +62,42 @@ fn randomized_sweep_is_worker_count_independent() {
     let (s4, o4) = campaign.run_with_jobs(factory, 8).unwrap();
     assert_eq!(s1, s4);
     assert_eq!(o1, o4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random grids, seeds, and worker counts, running the campaign
+    /// as n independent shards (n ∈ {2, 3, 5}) and merging the shard
+    /// reports reproduces the unsharded streamed report byte-for-byte.
+    #[test]
+    fn sharded_streaming_reports_merge_to_the_unsharded_report(
+        seed in any::<u64>(),
+        trials in 1u64..40,
+        jobs in 1usize..5,
+        shard_jobs in 1usize..5,
+    ) {
+        let unsharded = synthetic_campaign(seed, trials)
+            .run_streaming_with_jobs(jobs)
+            .report
+            .normalized()
+            .to_json()
+            .unwrap();
+        for count in [2u64, 3, 5] {
+            let merged = (0..count)
+                .map(|index| {
+                    synthetic_campaign(seed, trials)
+                        .shard(Shard::new(index, count).unwrap())
+                        .run_streaming_with_jobs(shard_jobs)
+                        .report
+                })
+                .fold(StreamReport::default(), |acc, part| acc.merge(&part));
+            prop_assert_eq!(
+                &unsharded,
+                &merged.normalized().to_json().unwrap(),
+                "{} shards at jobs={} must merge to the jobs={} report",
+                count, shard_jobs, jobs
+            );
+        }
+    }
 }

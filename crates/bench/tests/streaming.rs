@@ -1,0 +1,76 @@
+//! End-to-end tests for the streaming campaign pipeline at scale: a
+//! ≥100k-cell synthetic campaign must finish with resident cell-result
+//! memory bounded by the pipeline (queue depth + workers), and its
+//! normalized report must be byte-identical across worker counts and
+//! across shard/merge decompositions.
+
+use bench::{paper_campaign, synthetic_campaign};
+use intrusion_core::Shard;
+
+#[test]
+fn hundred_thousand_cell_campaign_is_bounded_and_deterministic() {
+    // 3 versions × 33,334 trials = 100,002 cells.
+    let trials = 33_334;
+    let queue_depth = 32;
+    let seed = 0xD5_2023;
+
+    let wide = synthetic_campaign(seed, trials).queue_depth(queue_depth);
+    let jobs8 = wide.run_streaming_with_jobs(8);
+    assert_eq!(jobs8.report.cells, 100_002);
+    assert_eq!(jobs8.report.completed, jobs8.report.cells, "synthetic grid never degrades");
+    assert!(jobs8.report.erroneous_states > 0);
+    assert_eq!(jobs8.report.by_key.len(), 3, "one key per version");
+    assert!(
+        jobs8.stats.peak_resident_cells <= (queue_depth + 8 + 1) as u64,
+        "resident cells must be bounded by queue depth + workers, got {}",
+        jobs8.stats.peak_resident_cells
+    );
+    assert!(jobs8.stats.cells_per_sec > 0.0);
+
+    let jobs1 = wide.run_streaming_with_jobs(1);
+    assert!(jobs1.stats.peak_resident_cells <= (queue_depth + 1 + 1) as u64);
+    let unsharded = jobs8.report.normalized().to_json().unwrap();
+    assert_eq!(
+        unsharded,
+        jobs1.report.normalized().to_json().unwrap(),
+        "jobs=1 and jobs=8 streamed reports must be byte-identical"
+    );
+
+    // Two deterministic shards, run as independent campaigns at jobs=4,
+    // merge back to the unsharded report byte-for-byte.
+    let half0 = synthetic_campaign(seed, trials)
+        .queue_depth(queue_depth)
+        .shard(Shard::new(0, 2).unwrap())
+        .run_streaming_with_jobs(4);
+    let half1 = synthetic_campaign(seed, trials)
+        .queue_depth(queue_depth)
+        .shard(Shard::new(1, 2).unwrap())
+        .run_streaming_with_jobs(4);
+    assert_eq!(half0.report.cells + half1.report.cells, 100_002);
+    let merged = half0.report.merge(&half1.report);
+    assert_eq!(
+        unsharded,
+        merged.normalized().to_json().unwrap(),
+        "merged shard reports must reproduce the unsharded report"
+    );
+}
+
+#[test]
+fn paper_campaign_streamed_aggregates_match_the_classic_report() {
+    let campaign = paper_campaign();
+    let classic = campaign.run_with_jobs(2);
+    let streamed = campaign.run_streaming_with_jobs(2);
+    assert_eq!(streamed.report.cells as usize, classic.cells().len());
+    assert_eq!(streamed.report.completed as usize, classic.completed_cells().count());
+    assert_eq!(streamed.report.degraded as usize, classic.degraded_cells().count());
+    assert_eq!(
+        streamed.report.erroneous_states as usize,
+        classic.cells().iter().filter(|c| c.erroneous_state).count()
+    );
+    assert_eq!(
+        streamed.report.violated_cells as usize,
+        classic.cells().iter().filter(|c| c.violated()).count()
+    );
+    assert_eq!(streamed.report.hypercalls, classic.total_hypercalls());
+    assert_eq!(streamed.report.by_key.len(), 24, "use_case/version/mode keys");
+}

@@ -20,7 +20,7 @@ use hvsim_obs::{parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer};
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
     ArbitraryAccessInjector, Campaign, CampaignReport, Mode, RandomizedCampaign, RandomizedSummary,
-    SecurityBenchmark, TargetRegion, UseCase,
+    SecurityBenchmark, Shard, StreamReport, TargetRegion, UseCase,
 };
 use hvsim::XenVersion;
 use std::process::ExitCode;
@@ -44,6 +44,19 @@ COMMANDS:
                    [--metrics-out <file>]  write the metrics snapshot as JSON
                    [--no-tlb]      disable the software TLB (escape hatch; reports
                                    are byte-identical either way, only slower)
+                   [--stream]      bounded-memory streaming engine: per-key summary
+                                   instead of per-cell tables, O(workers + queue)
+                                   resident memory, mergeable reports
+                   [--queue-depth <n>]  work-queue capacity for --stream
+                   [--shard <i/n>] run only slots i, i+n, i+2n, ... of the grid;
+                                   merging the n shard reports ('report merge')
+                                   reproduces the unsharded report byte-for-byte
+                   [--trials <n>]  trials per (use case, version, mode) cell
+                   [--report-out <file>]   with --stream: write the normalized
+                                   mergeable report as JSON
+    report       operate on streamed campaign reports
+                   merge <out> <in>...   merge shard reports written by
+                                         'campaign --stream --report-out'
     run          run one use case once
                    --use-case <name>      e.g. XSA-212-crash (see 'models')
                    [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
@@ -109,6 +122,17 @@ impl CliOutcome {
         }
     }
 
+    /// Same dominance order for a streamed report.
+    fn for_stream(report: &StreamReport) -> Self {
+        if report.is_degraded() {
+            CliOutcome::Degraded
+        } else if report.has_violations() {
+            CliOutcome::Violations
+        } else {
+            CliOutcome::Clean
+        }
+    }
+
     fn for_summary(summary: &RandomizedSummary) -> Self {
         if summary.degraded > 0 {
             CliOutcome::Degraded
@@ -161,7 +185,7 @@ fn parse_cell_deadline(p: &Parsed) -> Result<Option<Duration>, String> {
     }
 }
 
-/// Applies the shared fault-containment options to a campaign.
+/// Applies the shared fault-containment and grid options to a campaign.
 fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, String> {
     campaign = campaign.jobs(parse_jobs(p)?).retries(parse_retries(p)?);
     if let Some(deadline) = parse_cell_deadline(p)? {
@@ -169,6 +193,17 @@ fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, St
     }
     if p.has_flag("no-tlb") {
         campaign = campaign.use_tlb(false);
+    }
+    let trials: u64 =
+        p.get_or("trials", "1").parse().map_err(|_| "--trials must be a number".to_owned())?;
+    campaign = campaign.trials(trials);
+    if let Some(raw) = p.options.get("queue-depth") {
+        let depth: usize =
+            raw.parse().map_err(|_| "--queue-depth must be a number".to_owned())?;
+        campaign = campaign.queue_depth(depth);
+    }
+    if let Some(raw) = p.options.get("shard") {
+        campaign = campaign.shard(Shard::parse(raw).map_err(|e| format!("--shard: {e}"))?);
     }
     Ok(campaign)
 }
@@ -225,6 +260,38 @@ fn cmd_campaign(p: &Parsed) -> Result<CliOutcome, String> {
         }
     }
     let (campaign, hooks) = attach_obs(campaign, p);
+    if p.has_flag("stream") {
+        eprintln!("streaming the campaign ...");
+        let outcome = campaign.run_streaming();
+        write_obs_outputs(p, &hooks)?;
+        if let Some(path) = p.options.get("report-out") {
+            let json = outcome.report.normalized().to_json().map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
+            eprintln!("wrote normalized stream report to {path}");
+        }
+        let exit = CliOutcome::for_stream(&outcome.report);
+        if p.has_flag("json") {
+            println!("{}", outcome.report.to_json().map_err(|e| e.to_string())?);
+            return Ok(exit);
+        }
+        println!("{}", outcome.report.render_keys());
+        let s = outcome.stats;
+        println!(
+            "pipeline: {} workers, queue depth {}, {:.0} cells/sec, peak resident {} cells",
+            s.workers, s.queue_depth, s.cells_per_sec, s.peak_resident_cells,
+        );
+        println!(
+            "stalls: generator {} us, workers {} us; merge {} us, base-world wait {} us",
+            s.queue_stall_us, s.worker_stall_us, s.merge_us, s.base_world_wait_us,
+        );
+        if outcome.report.degraded > 0 {
+            eprintln!(
+                "warning: {} cell(s) degraded (crash / deadline / boot failure)",
+                outcome.report.degraded
+            );
+        }
+        return Ok(exit);
+    }
     eprintln!("running the campaign ...");
     let report = campaign.run();
     write_obs_outputs(p, &hooks)?;
@@ -380,6 +447,34 @@ fn cmd_trace(p: &Parsed) -> Result<CliOutcome, String> {
     }
 }
 
+/// `report merge <out> <in>...` — merge streamed (shard) reports into
+/// one. Merging normalized shard reports reproduces the normalized
+/// unsharded report byte-for-byte; merging raw reports sums the raw
+/// wall-clock aggregates instead.
+fn cmd_report(p: &Parsed) -> Result<CliOutcome, String> {
+    let action =
+        p.positionals.first().ok_or("report needs an action: report merge <out> <in>...")?;
+    if action != "merge" {
+        return Err(format!("unknown report action '{action}' (expected merge)"));
+    }
+    let out = p.positionals.get(1).ok_or("report merge needs an output path")?;
+    let inputs = &p.positionals[2..];
+    if inputs.is_empty() {
+        return Err("report merge needs at least one input report".to_owned());
+    }
+    let mut merged = StreamReport::default();
+    for path in inputs {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let report = StreamReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        merged = merged.merge(&report);
+    }
+    let json = merged.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("could not write {out}: {e}"))?;
+    eprintln!("merged {} report(s) into {out} ({} cells)", inputs.len(), merged.cells);
+    Ok(CliOutcome::Clean)
+}
+
 fn cmd_models() -> Result<CliOutcome, String> {
     for uc in all_use_cases() {
         let im = uc.intrusion_model();
@@ -393,8 +488,9 @@ fn cmd_models() -> Result<CliOutcome, String> {
 
 fn run(argv: Vec<String>) -> Result<CliOutcome, String> {
     let parsed = args::parse(argv).map_err(|e| e.to_string())?;
-    // Only `trace` takes positional arguments (its action + file).
-    if parsed.command != "trace" {
+    // Only `trace` (action + file) and `report` (action + paths) take
+    // positional arguments.
+    if parsed.command != "trace" && parsed.command != "report" {
         parsed.no_positionals().map_err(|e| e.to_string())?;
     }
     match parsed.command.as_str() {
@@ -403,6 +499,7 @@ fn run(argv: Vec<String>) -> Result<CliOutcome, String> {
         "randomized" => cmd_randomized(&parsed),
         "benchmark" => cmd_benchmark(&parsed),
         "trace" => cmd_trace(&parsed),
+        "report" => cmd_report(&parsed),
         "taxonomy" => {
             println!("{}", xsa_exploits::advisories::render_table1());
             Ok(CliOutcome::Clean)
@@ -623,6 +720,43 @@ mod tests {
         assert!(err.contains("file path"));
         let err = run(vec!["trace".into(), "frobnicate".into(), trace]).unwrap_err();
         assert!(err.contains("summary|validate"));
+    }
+
+    #[test]
+    fn streamed_shards_merge_to_the_unsharded_report() {
+        let dir = std::env::temp_dir();
+        let full = dir.join("cli_stream_full.json").display().to_string();
+        let s0 = dir.join("cli_stream_s0.json").display().to_string();
+        let s1 = dir.join("cli_stream_s1.json").display().to_string();
+        let merged = dir.join("cli_stream_merged.json").display().to_string();
+        let stream = |extra: Vec<String>| {
+            let mut argv = vec![
+                "campaign".into(),
+                "--stream".into(),
+                "--jobs".into(),
+                "2".into(),
+                "--queue-depth".into(),
+                "4".into(),
+            ];
+            argv.extend(extra);
+            run(argv).unwrap()
+        };
+        let outcome = stream(vec!["--report-out".into(), full.clone()]);
+        assert_eq!(outcome, CliOutcome::Violations, "vulnerable versions violate");
+        stream(vec!["--shard".into(), "0/2".into(), "--report-out".into(), s0.clone()]);
+        stream(vec!["--shard".into(), "1/2".into(), "--report-out".into(), s1.clone()]);
+        run(vec!["report".into(), "merge".into(), merged.clone(), s0, s1]).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&merged).unwrap(),
+            "merged shard reports must be byte-identical to the unsharded report"
+        );
+        let err = run(vec!["report".into(), "merge".into(), merged]).unwrap_err();
+        assert!(err.contains("at least one input"));
+        let err = run(vec!["report".into(), "explode".into()]).unwrap_err();
+        assert!(err.contains("expected merge"));
+        let err = run(vec!["campaign".into(), "--shard".into(), "5/2".into()]).unwrap_err();
+        assert!(err.contains("--shard"));
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub mod obs_bridge;
 pub mod randomized;
 pub mod report;
 pub mod scenario;
+pub mod stream;
 pub mod taxonomy;
 
 pub use avi::{ThreatChain, ThreatLink, ThreatStage};
@@ -103,4 +104,8 @@ pub use monitor::{Detector, Monitor, Observation, SecurityViolation};
 pub use randomized::{RandomizedCampaign, RandomizedOutcome, RandomizedSummary, TargetRegion};
 pub use report::{canonical_hypercall_total, TextTable};
 pub use scenario::{Mode, ScenarioOutcome, UseCase};
+pub use stream::{
+    CellSpec, DegradedSlot, KeySummary, Shard, SpecGrid, StreamBench, StreamOutcome, StreamReport,
+    StreamRunStats,
+};
 pub use taxonomy::{AbusiveFunctionality, FunctionalityClass};

@@ -8,6 +8,7 @@
 //! dependency on the obs crate and no event is ever counted twice.
 
 use crate::campaign::{CampaignReport, CellResult};
+use crate::stream::{StreamReport, StreamRunStats};
 use guestos::BootStage;
 use hvsim::AuditEvent;
 use hvsim_obs::{Histogram, MetricsRegistry, TraceCtx};
@@ -37,6 +38,20 @@ pub const M_FRAMES_COPIED: &str = "mem.frames_copied";
 pub const M_TLB_HITS: &str = "tlb.hits";
 /// Counter: software-TLB misses across all cell worlds.
 pub const M_TLB_MISSES: &str = "tlb.misses";
+/// Counter (streaming only): time the spec generator spent blocked on
+/// a full work queue, µs.
+pub const M_QUEUE_STALL_US: &str = "campaign.stream.queue_stall_us";
+/// Counter (streaming only): time workers spent blocked on an empty
+/// work queue, µs.
+pub const M_WORKER_STALL_US: &str = "campaign.stream.worker_stall_us";
+/// Counter (streaming only): time spent merging per-worker partial
+/// reports, µs.
+pub const M_MERGE_US: &str = "campaign.stream.merge_us";
+/// Counter (streaming only): peak cells resident in the pipeline.
+pub const M_PEAK_RESIDENT: &str = "campaign.stream.peak_resident_cells";
+/// Counter (streaming only): cold-miss wait on the shared base-world
+/// map, µs.
+pub const M_BASE_WORLD_WAIT_US: &str = "campaign.stream.base_world_wait_us";
 
 /// Re-emits hypervisor audit events as trace points under
 /// `audit/<kind>`, one per event, with the human-readable rendering in
@@ -126,6 +141,39 @@ pub fn record_report_metrics(report: &CampaignReport, registry: &MetricsRegistry
             c.phase_us.monitor_us
         });
     }
+}
+
+/// Folds a streaming run into the registry: the same `campaign.*`
+/// counters the classic path records (from the already-merged report,
+/// so updates are deterministic), full-resolution per-phase histograms
+/// via exact merges, and the streaming-only pipeline counters. The
+/// `campaign.stream.*` values are wall-clock shaped and never part of
+/// determinism diffs.
+pub(crate) fn record_stream_metrics(
+    report: &StreamReport,
+    phases: &crate::stream::PhaseHistograms,
+    stats: &StreamRunStats,
+    registry: &MetricsRegistry,
+) {
+    registry.add(M_CELLS, report.cells);
+    registry.add(M_CELLS_COMPLETED, report.completed);
+    registry.add(M_CELLS_DEGRADED, report.degraded);
+    registry.add(M_RETRIES, report.retries);
+    registry.add(M_TIMEOUTS, report.timed_out);
+    registry.add(M_BOOT_FAILURES, report.boot_failed);
+    registry.add(M_CRASHES, report.crashed);
+    registry.add(M_HYPERCALLS, report.hypercalls);
+    registry.add(M_FRAMES_COPIED, report.frames_copied);
+    registry.add(M_TLB_HITS, report.tlb_hits);
+    registry.add(M_TLB_MISSES, report.tlb_misses);
+    for (name, histogram) in phases.named() {
+        registry.observe_histogram(name, histogram);
+    }
+    registry.add(M_QUEUE_STALL_US, stats.queue_stall_us);
+    registry.add(M_WORKER_STALL_US, stats.worker_stall_us);
+    registry.add(M_MERGE_US, stats.merge_us);
+    registry.add(M_PEAK_RESIDENT, stats.peak_resident_cells);
+    registry.add(M_BASE_WORLD_WAIT_US, stats.base_world_wait_us);
 }
 
 /// Builds one phase histogram summary directly from report cells — the

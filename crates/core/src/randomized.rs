@@ -9,6 +9,7 @@
 
 use crate::campaign::{default_jobs, lock_recover};
 use crate::erroneous_state::ErroneousStateSpec;
+use crate::stream::BoundedQueue;
 use crate::error::{panic_payload, CampaignError};
 use crate::injector::{ArbitraryAccessInjector, Injector};
 use crate::monitor::Monitor;
@@ -161,6 +162,23 @@ pub struct RandomizedSummary {
     pub degraded: usize,
 }
 
+impl RandomizedSummary {
+    /// Sums two summaries. Every field is a count of per-trial
+    /// indicators, so merging per-worker (or per-shard) summaries is
+    /// exact, associative, and commutative.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            total: self.total + other.total,
+            injected: self.injected + other.injected,
+            crashes: self.crashes + other.crashes,
+            violated: self.violated + other.violated,
+            handled: self.handled + other.handled,
+            degraded: self.degraded + other.degraded,
+        }
+    }
+}
+
 impl fmt::Display for RandomizedSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut t = TextTable::new([
@@ -299,24 +317,59 @@ impl RandomizedCampaign {
                     ),
                     non_crash_violations: 0,
                 });
-            if trial.outcome.error.is_some() {
-                summary.degraded += 1;
-                outcomes.push(trial.outcome);
-                continue;
-            }
-            if trial.outcome.injected {
-                summary.injected += 1;
-            }
-            if trial.outcome.crashed {
-                summary.crashes += 1;
-            } else if trial.non_crash_violations > 0 {
-                summary.violated += 1;
-            } else if trial.outcome.injected {
-                summary.handled += 1;
-            }
+            fold_trial(&mut summary, &trial);
             outcomes.push(trial.outcome);
         }
         Ok((summary, outcomes))
+    }
+
+    /// Streams the trial indices through a bounded queue on exactly
+    /// `jobs` workers, folding each classified trial into a per-worker
+    /// summary that is dropped into the merge at the end — O(workers)
+    /// resident memory, no retained outcomes. Each trial's
+    /// classification depends only on its deterministic seed, and every
+    /// summary field is a sum, so the merged summary is identical to
+    /// [`RandomizedCampaign::run_with_jobs`]'s for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`RandomizedCampaign::run`].
+    pub fn run_streaming_summary(
+        &self,
+        factory: impl Fn() -> Result<(World, DomainId), BootError> + Send + Sync,
+        jobs: usize,
+    ) -> Result<RandomizedSummary, CampaignError> {
+        if self.trials == 0 {
+            return Ok(RandomizedSummary::default());
+        }
+        let (base_world, attacker) = self.boot_base(&factory)?;
+        let workers = jobs.max(1).min(self.trials);
+        let queue: BoundedQueue<u64> = BoundedQueue::new((workers * 2).max(8));
+        let partials: Mutex<Vec<RandomizedSummary>> = Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for t in 0..self.trials as u64 {
+                    queue.push(t);
+                }
+                queue.close();
+            });
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut summary = RandomizedSummary::default();
+                    while let Some(t) = queue.pop() {
+                        let trial = self.run_trial_contained(&base_world, attacker, t);
+                        summary.total += 1;
+                        fold_trial(&mut summary, &trial);
+                    }
+                    lock_recover(&partials).push(summary);
+                });
+            }
+        });
+        let mut merged = RandomizedSummary::default();
+        for summary in partials.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            merged = merged.merge(&summary);
+        }
+        Ok(merged)
     }
 
     /// Boots the shared base world with panic containment and the
@@ -418,6 +471,27 @@ struct TrialResult {
     non_crash_violations: usize,
 }
 
+/// Classifies one trial into the summary counts (everything except
+/// `total`, which the callers own). Shared by the slot-ordered classic
+/// fold and the per-worker streaming fold — one definition of
+/// degraded/crashed/violated/handled for both paths.
+fn fold_trial(summary: &mut RandomizedSummary, trial: &TrialResult) {
+    if trial.outcome.error.is_some() {
+        summary.degraded += 1;
+        return;
+    }
+    if trial.outcome.injected {
+        summary.injected += 1;
+    }
+    if trial.outcome.crashed {
+        summary.crashes += 1;
+    } else if trial.non_crash_violations > 0 {
+        summary.violated += 1;
+    } else if trial.outcome.injected {
+        summary.handled += 1;
+    }
+}
+
 /// A placeholder outcome for a trial the harness could not complete.
 fn degraded_outcome(region: TargetRegion, error: CampaignError) -> RandomizedOutcome {
     RandomizedOutcome {
@@ -500,6 +574,17 @@ mod tests {
         let (s, o) = campaign.with_jobs(4).run(factory(XenVersion::V4_8)).unwrap();
         assert_eq!(s, s1);
         assert_eq!(o, o1);
+    }
+
+    #[test]
+    fn streaming_summary_matches_classic_at_any_worker_count() {
+        let campaign = RandomizedCampaign::new(TargetRegion::IdtGates { cpu: 0 }, 10, 99);
+        let (classic, _) = campaign.run_with_jobs(factory(XenVersion::V4_8), 2).unwrap();
+        for jobs in [1, 4] {
+            let streamed =
+                campaign.run_streaming_summary(factory(XenVersion::V4_8), jobs).unwrap();
+            assert_eq!(streamed, classic, "streamed summary at jobs={jobs}");
+        }
     }
 
     #[test]

@@ -91,6 +91,34 @@ pub trait UseCase: Send + Sync {
         injector: &dyn Injector,
     ) -> ScenarioOutcome;
 
+    /// Runs the exploit for one trial of a parameter grid. The default
+    /// ignores the trial index and delegates to [`UseCase::run_exploit`]
+    /// — the paper's use cases are single-shot; grid-style cases
+    /// override this to vary their parameters by trial.
+    fn run_exploit_trial(
+        &self,
+        world: &mut World,
+        attacker: DomainId,
+        trial: u64,
+    ) -> ScenarioOutcome {
+        let _ = trial;
+        self.run_exploit(world, attacker)
+    }
+
+    /// Runs the injection path for one trial of a parameter grid; the
+    /// default ignores the trial index and delegates to
+    /// [`UseCase::run_injection`].
+    fn run_injection_trial(
+        &self,
+        world: &mut World,
+        attacker: DomainId,
+        injector: &dyn Injector,
+        trial: u64,
+    ) -> ScenarioOutcome {
+        let _ = trial;
+        self.run_injection(world, attacker, injector)
+    }
+
     /// The monitor configuration appropriate for this use case.
     fn monitor(&self, world: &World, attacker: DomainId) -> Monitor {
         let _ = (world, attacker);

@@ -1,0 +1,1040 @@
+//! The streaming campaign pipeline: lazy cell-spec generation, a
+//! bounded work queue with backpressure, and merge-associative partial
+//! reports.
+//!
+//! The classic runner ([`Campaign::run`](crate::Campaign::run))
+//! materializes one [`CellResult`](crate::CellResult) per cell — O(cells)
+//! memory, fine for the paper's 24-cell Table III, hopeless for the
+//! million-cell grids the taxonomy implies. The streaming runner keeps
+//! resident state at O(workers + queue depth):
+//!
+//! ```text
+//! SpecGrid (lazy slots)      BoundedQueue (depth D)          N workers
+//!  generator ── CellSpec ──▶ [ ▒▒▒ backpressure ▒▒▒ ] ──▶ run cell ─┐
+//!                                                                   ▼
+//!                                                    PartialFold (per worker)
+//!                                                                   │
+//!                              ordered merge (by first slot) ◀──────┘
+//!                                         │
+//!                                         ▼
+//!                                   StreamReport
+//! ```
+//!
+//! Determinism: a cell's result depends only on its [`CellSpec`] (every
+//! cell starts from a pristine world), and every aggregate in a
+//! [`StreamReport`] is a commutative monoid — sums, exact histogram
+//! bucket merges, and unions of maps keyed by slot or by grid key whose
+//! key sets are disjoint across shards. So the merged report is
+//! independent of worker count and of how slots were partitioned into
+//! shards; after [`StreamReport::normalized`] zeroes wall-clock values
+//! it is byte-identical across schedules.
+
+use crate::campaign::{CellResult, LatencyBreakdown, PhaseLatency};
+use crate::error::{CampaignError, CellOutcome};
+use crate::report::TextTable;
+use crate::scenario::Mode;
+use hvsim::XenVersion;
+use hvsim_obs::{Histogram, HistogramSummary};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One cell of a campaign grid, identified by its global slot index.
+///
+/// `slot` encodes the cell's grid coordinates positionally
+/// (use-case-major, trial fastest-varying), so any subset of slots can
+/// be regenerated independently — the basis for deterministic sharding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Global slot index in `0..grid.len()`.
+    pub slot: u64,
+    /// Index into the campaign's use-case list.
+    pub use_case: usize,
+    /// Version under test.
+    pub version: XenVersion,
+    /// Exploit or injection.
+    pub mode: Mode,
+    /// Trial index in `0..trials` — the parameter-grid axis. Classic
+    /// single-shot campaigns use trial 0.
+    pub trial: u64,
+}
+
+/// The cartesian campaign grid: use cases × versions × modes × trials,
+/// enumerated lazily by slot index.
+///
+/// `slot = ((uc · V + v) · M + m) · T + t` — identical to the classic
+/// runner's work order when `trials == 1`, so streamed and classic runs
+/// visit cells in the same logical order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecGrid {
+    use_cases: usize,
+    versions: Vec<XenVersion>,
+    modes: Vec<Mode>,
+    trials: u64,
+}
+
+impl SpecGrid {
+    /// Builds a grid; `trials` is clamped to at least 1.
+    pub fn new(use_cases: usize, versions: &[XenVersion], modes: &[Mode], trials: u64) -> Self {
+        Self {
+            use_cases,
+            versions: versions.to_vec(),
+            modes: modes.to_vec(),
+            trials: trials.max(1),
+        }
+    }
+
+    /// Total number of cells in the grid.
+    pub fn len(&self) -> u64 {
+        self.use_cases as u64
+            * self.versions.len() as u64
+            * self.modes.len() as u64
+            * self.trials
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The versions axis, in grid order.
+    pub fn versions(&self) -> &[XenVersion] {
+        &self.versions
+    }
+
+    /// The modes axis, in grid order.
+    pub fn modes(&self) -> &[Mode] {
+        &self.modes
+    }
+
+    /// Decodes a slot index back into its grid coordinates.
+    pub fn decode(&self, slot: u64) -> Option<CellSpec> {
+        if slot >= self.len() {
+            return None;
+        }
+        let trial = slot % self.trials;
+        let rest = slot / self.trials;
+        let m = (rest % self.modes.len() as u64) as usize;
+        let rest = rest / self.modes.len() as u64;
+        let v = (rest % self.versions.len() as u64) as usize;
+        let use_case = (rest / self.versions.len() as u64) as usize;
+        Some(CellSpec {
+            slot,
+            use_case,
+            version: self.versions[v],
+            mode: self.modes[m],
+            trial,
+        })
+    }
+
+    /// Lazily iterates the whole grid in slot order.
+    pub fn iter(&self) -> SpecIter<'_> {
+        SpecIter { grid: self, next: 0, step: 1 }
+    }
+
+    /// Lazily iterates one shard: slots `index, index + count,
+    /// index + 2·count, …`. `None` iterates the whole grid. The `n`
+    /// shards of any grid partition it exactly, which is what makes
+    /// merged shard reports reproduce the unsharded report.
+    pub fn shard_iter(&self, shard: Option<Shard>) -> SpecIter<'_> {
+        match shard {
+            None => self.iter(),
+            Some(s) => SpecIter { grid: self, next: s.index, step: s.count },
+        }
+    }
+
+    /// Number of slots a shard of this grid contains.
+    pub fn shard_len(&self, shard: Option<Shard>) -> u64 {
+        match shard {
+            None => self.len(),
+            Some(s) if s.index >= self.len() => 0,
+            Some(s) => 1 + (self.len() - 1 - s.index) / s.count,
+        }
+    }
+}
+
+/// Lazy slot-order iterator over a [`SpecGrid`] (whole grid or one
+/// shard). Never materializes the grid.
+#[derive(Clone, Debug)]
+pub struct SpecIter<'g> {
+    grid: &'g SpecGrid,
+    next: u64,
+    step: u64,
+}
+
+impl Iterator for SpecIter<'_> {
+    type Item = CellSpec;
+
+    fn next(&mut self) -> Option<CellSpec> {
+        let spec = self.grid.decode(self.next)?;
+        self.next = self.next.saturating_add(self.step);
+        Some(spec)
+    }
+}
+
+/// One shard of a campaign grid: this process runs slots congruent to
+/// `index` modulo `count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Shard index in `0..count`.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl Shard {
+    /// Validates and builds a shard assignment.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `count == 0` or `index >= count`.
+    pub fn new(index: u64, count: u64) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_owned());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for {count} shards"));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `i/n` (e.g. `0/2`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("'{text}' is not of the form i/n (e.g. 0/2)"))?;
+        let index: u64 =
+            index.trim().parse().map_err(|_| format!("bad shard index '{index}'"))?;
+        let count: u64 =
+            count.trim().parse().map_err(|_| format!("bad shard count '{count}'"))?;
+        Self::new(index, count)
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// A bounded MPMC queue: producers block when full (backpressure),
+/// consumers block when empty, `close()` wakes everyone for shutdown.
+/// Stall time on both sides is accounted so the throughput summary can
+/// show whether the generator or the workers were the bottleneck.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    push_stall_us: AtomicU64,
+    pop_stall_us: AtomicU64,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            push_stall_us: AtomicU64::new(0),
+            pop_stall_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues. Items pushed after
+    /// `close()` are dropped (the campaign never does this; it closes
+    /// only after the generator is exhausted).
+    pub(crate) fn push(&self, item: T) {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        let stalled = started.elapsed().as_micros() as u64;
+        if stalled > 0 {
+            self.push_stall_us.fetch_add(stalled, Ordering::Relaxed);
+        }
+        if !state.closed {
+            state.items.push_back(item);
+            drop(state);
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Blocks until an item is available; `None` once the queue is
+    /// closed *and* drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                let stalled = started.elapsed().as_micros() as u64;
+                if stalled > 0 {
+                    self.pop_stall_us.fetch_add(stalled, Ordering::Relaxed);
+                }
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the stream complete and wakes all waiters.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Total time producers spent blocked on a full queue, µs.
+    pub(crate) fn push_stall_us(&self) -> u64 {
+        self.push_stall_us.load(Ordering::Relaxed)
+    }
+
+    /// Total time consumers spent blocked on an empty queue, µs.
+    pub(crate) fn pop_stall_us(&self) -> u64 {
+        self.pop_stall_us.load(Ordering::Relaxed)
+    }
+}
+
+/// Tracks how many cells are resident (queued or being folded) and the
+/// peak — the evidence that streaming memory is O(workers + queue
+/// depth), not O(cells).
+#[derive(Default)]
+pub(crate) struct ResidentGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ResidentGauge {
+    pub(crate) fn enter(&self) {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn exit(&self) {
+        self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-key aggregate in a [`StreamReport`], keyed by
+/// `use_case/version/mode` — enough to render Table III-style summaries
+/// without retaining per-cell results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeySummary {
+    /// Cells run under this key (= trials that reached a worker).
+    pub cells: u64,
+    /// Cells that completed cleanly.
+    pub completed: u64,
+    /// Cells on which the harness degraded.
+    pub degraded: u64,
+    /// Cells that induced the erroneous state.
+    pub erroneous_states: u64,
+    /// Cells with at least one security violation.
+    pub violated: u64,
+    /// Cells where the state was induced but handled (the shield).
+    pub handled: u64,
+    /// Hypercalls executed under this key.
+    pub hypercalls: u64,
+}
+
+impl KeySummary {
+    fn absorb(&mut self, other: &KeySummary) {
+        self.cells += other.cells;
+        self.completed += other.completed;
+        self.degraded += other.degraded;
+        self.erroneous_states += other.erroneous_states;
+        self.violated += other.violated;
+        self.handled += other.handled;
+        self.hypercalls += other.hypercalls;
+    }
+}
+
+/// The retained record of one degraded cell, keyed by slot. Streaming
+/// drops completed cells after folding them, but a degraded cell is an
+/// actionable harness failure — the report keeps every one, exactly
+/// attributable via its slot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradedSlot {
+    /// Use-case name.
+    pub use_case: String,
+    /// Version under test.
+    pub version: XenVersion,
+    /// Exploit or injection.
+    pub mode: Mode,
+    /// Trial index within the key.
+    pub trial: u64,
+    /// How far the cell got.
+    pub outcome: CellOutcome,
+    /// The typed failure.
+    pub error: Option<CampaignError>,
+}
+
+/// A complete, merge-associative streaming campaign report.
+///
+/// Every field is a sum, an exact histogram merge, or a union of maps
+/// whose key sets are disjoint across shards — so
+/// [`StreamReport::merge`] is associative and commutative, and merging
+/// the reports of `n` shards reproduces the unsharded report.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Cells run.
+    pub cells: u64,
+    /// Cells that completed cleanly (failed injection attempts
+    /// included — they are assessment data).
+    pub completed: u64,
+    /// Cells on which the harness degraded.
+    pub degraded: u64,
+    /// Cells that induced their erroneous state.
+    pub erroneous_states: u64,
+    /// Cells with at least one security violation.
+    pub violated_cells: u64,
+    /// Individual violations observed (a cell can have several).
+    pub violations: u64,
+    /// Cells whose induced state was handled cleanly.
+    pub handled: u64,
+    /// Cells whose world never booted.
+    pub boot_failed: u64,
+    /// Cells where a panic escaped the cell body.
+    pub crashed: u64,
+    /// Cells abandoned at the deadline.
+    pub timed_out: u64,
+    /// Extra boot attempts consumed by transient-failure retries.
+    pub retries: u64,
+    /// Hypercalls executed across all cells.
+    pub hypercalls: u64,
+    /// Sum of per-cell wall-clock time, µs (zeroed by `normalized`).
+    pub wall_time_us: u64,
+    /// Frames privatized by copy-on-write across all cell worlds
+    /// (schedule-dependent; zeroed by `normalized`).
+    pub frames_copied: u64,
+    /// Software-TLB hits (config-dependent; zeroed by `normalized`).
+    pub tlb_hits: u64,
+    /// Software-TLB misses (config-dependent; zeroed by `normalized`).
+    pub tlb_misses: u64,
+    /// Per-phase latency summaries, completed vs degraded.
+    pub latency: LatencyBreakdown,
+    /// Aggregates per `use_case/version/mode` key.
+    pub by_key: BTreeMap<String, KeySummary>,
+    /// Every degraded cell, keyed by global slot index.
+    pub degraded_slots: BTreeMap<u64, DegradedSlot>,
+}
+
+impl StreamReport {
+    /// The report with every wall-clock and schedule-dependent value
+    /// zeroed; counts survive. Normalized reports are byte-identical
+    /// across worker counts, queue depths, and shardings.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let norm_phase = |p: &PhaseLatency| PhaseLatency {
+            completed: p.completed.normalized(),
+            degraded: p.degraded.normalized(),
+        };
+        Self {
+            wall_time_us: 0,
+            frames_copied: 0,
+            tlb_hits: 0,
+            tlb_misses: 0,
+            latency: LatencyBreakdown {
+                boot: norm_phase(&self.latency.boot),
+                inject: norm_phase(&self.latency.inject),
+                monitor: norm_phase(&self.latency.monitor),
+            },
+            ..self.clone()
+        }
+    }
+
+    /// Merges two reports (e.g. of two shards). Associative and
+    /// commutative; quantiles are summarized per input, so merged
+    /// quantiles take the max (exact after `normalized`, which zeroes
+    /// them anyway).
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        let merge_summary = |a: HistogramSummary, b: HistogramSummary| HistogramSummary {
+            count: a.count + b.count,
+            p50_us: a.p50_us.max(b.p50_us),
+            p95_us: a.p95_us.max(b.p95_us),
+            max_us: a.max_us.max(b.max_us),
+        };
+        let merge_phase = |a: &PhaseLatency, b: &PhaseLatency| PhaseLatency {
+            completed: merge_summary(a.completed, b.completed),
+            degraded: merge_summary(a.degraded, b.degraded),
+        };
+        let mut by_key = self.by_key.clone();
+        for (key, summary) in &other.by_key {
+            by_key.entry(key.clone()).or_default().absorb(summary);
+        }
+        let mut degraded_slots = self.degraded_slots.clone();
+        degraded_slots.extend(other.degraded_slots.iter().map(|(k, v)| (*k, v.clone())));
+        Self {
+            cells: self.cells + other.cells,
+            completed: self.completed + other.completed,
+            degraded: self.degraded + other.degraded,
+            erroneous_states: self.erroneous_states + other.erroneous_states,
+            violated_cells: self.violated_cells + other.violated_cells,
+            violations: self.violations + other.violations,
+            handled: self.handled + other.handled,
+            boot_failed: self.boot_failed + other.boot_failed,
+            crashed: self.crashed + other.crashed,
+            timed_out: self.timed_out + other.timed_out,
+            retries: self.retries + other.retries,
+            hypercalls: self.hypercalls + other.hypercalls,
+            wall_time_us: self.wall_time_us + other.wall_time_us,
+            frames_copied: self.frames_copied + other.frames_copied,
+            tlb_hits: self.tlb_hits + other.tlb_hits,
+            tlb_misses: self.tlb_misses + other.tlb_misses,
+            latency: LatencyBreakdown {
+                boot: merge_phase(&self.latency.boot, &other.latency.boot),
+                inject: merge_phase(&self.latency.inject, &other.latency.inject),
+                monitor: merge_phase(&self.latency.monitor, &other.latency.monitor),
+            },
+            by_key,
+            degraded_slots,
+        }
+    }
+
+    /// `true` when any cell degraded — CLI exit code 2.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded > 0
+    }
+
+    /// `true` when any cell observed a violation — CLI exit code 1.
+    pub fn has_violations(&self) -> bool {
+        self.violated_cells > 0
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (unreachable for this data model).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report serialized by [`StreamReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer errors on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Renders the per-key summary table (the streaming analogue of the
+    /// Table III view — per-cell detail is not retained).
+    pub fn render_keys(&self) -> String {
+        let mut table = TextTable::new([
+            "use case / version / mode",
+            "cells",
+            "err. state",
+            "violated",
+            "handled",
+            "degraded",
+        ])
+        .title("streamed campaign summary (aggregates per grid key)");
+        for (key, s) in &self.by_key {
+            table.row([
+                key.clone(),
+                s.cells.to_string(),
+                s.erroneous_states.to_string(),
+                s.violated.to_string(),
+                s.handled.to_string(),
+                s.degraded.to_string(),
+            ]);
+        }
+        table.to_string()
+    }
+}
+
+/// Run-shape measurements of one streaming execution. Deliberately kept
+/// outside [`StreamReport`]: all of this is schedule- and wall-clock
+/// dependent, and determinism diffs compare reports only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamRunStats {
+    /// Worker threads used.
+    pub workers: u64,
+    /// Bounded queue capacity.
+    pub queue_depth: u64,
+    /// End-to-end elapsed time, µs.
+    pub elapsed_us: u64,
+    /// Completed cells per second of elapsed time.
+    pub cells_per_sec: f64,
+    /// Peak number of cells resident (queued or being folded) at once —
+    /// bounded by queue depth + workers + 1, never O(cells).
+    pub peak_resident_cells: u64,
+    /// Time the generator spent blocked on a full queue, µs.
+    pub queue_stall_us: u64,
+    /// Time workers spent blocked on an empty queue, µs.
+    pub worker_stall_us: u64,
+    /// Time spent merging per-worker partial reports, µs.
+    pub merge_us: u64,
+    /// Time spent waiting on the shared base-world map (cold misses
+    /// only; per-worker caches make steady state lock-free), µs.
+    pub base_world_wait_us: u64,
+}
+
+/// What a streaming run returns: the mergeable report plus the
+/// run-shape stats.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamOutcome {
+    /// The deterministic, mergeable assessment report.
+    pub report: StreamReport,
+    /// Schedule-dependent measurements of this particular run.
+    pub stats: StreamRunStats,
+}
+
+/// One machine-readable benchmark record of a streamed run, as written
+/// to the `stream` array of `BENCH_campaign.json`: which grid was
+/// streamed, how big it was, and the run-shape stats.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamBench {
+    /// What was streamed (e.g. `table3` or `synthetic_100k`).
+    pub grid: String,
+    /// Cells in this run's (shard of the) grid.
+    pub cells: u64,
+    /// Cells that completed cleanly.
+    pub completed: u64,
+    /// Cells on which the harness degraded.
+    pub degraded: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Bounded queue capacity.
+    pub queue_depth: u64,
+    /// End-to-end elapsed time, µs.
+    pub elapsed_us: u64,
+    /// Completed cells per second of elapsed time.
+    pub cells_per_sec: f64,
+    /// Peak cells resident in the pipeline at once.
+    pub peak_resident_cells: u64,
+    /// Generator stall on a full queue, µs.
+    pub queue_stall_us: u64,
+    /// Worker stall on an empty queue, µs.
+    pub worker_stall_us: u64,
+    /// Partial-report merge time, µs.
+    pub merge_us: u64,
+    /// Cold-miss wait on the shared base-world map, µs.
+    pub base_world_wait_us: u64,
+}
+
+impl StreamOutcome {
+    /// The benchmark record for this run, labelled `grid`.
+    pub fn bench_entry(&self, grid: impl Into<String>) -> StreamBench {
+        let s = self.stats;
+        StreamBench {
+            grid: grid.into(),
+            cells: self.report.cells,
+            completed: self.report.completed,
+            degraded: self.report.degraded,
+            workers: s.workers,
+            queue_depth: s.queue_depth,
+            elapsed_us: s.elapsed_us,
+            cells_per_sec: s.cells_per_sec,
+            peak_resident_cells: s.peak_resident_cells,
+            queue_stall_us: s.queue_stall_us,
+            worker_stall_us: s.worker_stall_us,
+            merge_us: s.merge_us,
+            base_world_wait_us: s.base_world_wait_us,
+        }
+    }
+}
+
+/// Per-worker raw fold state: full histograms (not summaries) so the
+/// final merge is exact, plus the worker's first slot so partial folds
+/// merge in a deterministic order.
+#[derive(Default)]
+pub(crate) struct PartialFold {
+    first_slot: Option<u64>,
+    report: StreamReport,
+    phases: PhaseHistograms,
+}
+
+/// The six per-phase histograms (completed/degraded × boot/inject/
+/// monitor) accumulated in full resolution during a streaming run.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PhaseHistograms {
+    pub(crate) boot_completed: Histogram,
+    pub(crate) boot_degraded: Histogram,
+    pub(crate) inject_completed: Histogram,
+    pub(crate) inject_degraded: Histogram,
+    pub(crate) monitor_completed: Histogram,
+    pub(crate) monitor_degraded: Histogram,
+}
+
+impl PhaseHistograms {
+    fn merge(&mut self, other: &PhaseHistograms) {
+        self.boot_completed.merge(&other.boot_completed);
+        self.boot_degraded.merge(&other.boot_degraded);
+        self.inject_completed.merge(&other.inject_completed);
+        self.inject_degraded.merge(&other.inject_degraded);
+        self.monitor_completed.merge(&other.monitor_completed);
+        self.monitor_degraded.merge(&other.monitor_degraded);
+    }
+
+    fn breakdown(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            boot: PhaseLatency {
+                completed: self.boot_completed.summary(),
+                degraded: self.boot_degraded.summary(),
+            },
+            inject: PhaseLatency {
+                completed: self.inject_completed.summary(),
+                degraded: self.inject_degraded.summary(),
+            },
+            monitor: PhaseLatency {
+                completed: self.monitor_completed.summary(),
+                degraded: self.monitor_degraded.summary(),
+            },
+        }
+    }
+
+    /// Named histograms in registry naming, for the metrics fold.
+    pub(crate) fn named(&self) -> [(&'static str, &Histogram); 6] {
+        [
+            ("campaign.boot_us.completed", &self.boot_completed),
+            ("campaign.boot_us.degraded", &self.boot_degraded),
+            ("campaign.inject_us.completed", &self.inject_completed),
+            ("campaign.inject_us.degraded", &self.inject_degraded),
+            ("campaign.monitor_us.completed", &self.monitor_completed),
+            ("campaign.monitor_us.degraded", &self.monitor_degraded),
+        ]
+    }
+}
+
+impl PartialFold {
+    /// Folds one finished cell into this worker's partial report; the
+    /// cell is dropped afterwards.
+    pub(crate) fn fold(&mut self, spec: &CellSpec, cell: &CellResult) {
+        if self.first_slot.is_none() {
+            self.first_slot = Some(spec.slot);
+        }
+        let r = &mut self.report;
+        let degraded = cell.degraded();
+        r.cells += 1;
+        if degraded {
+            r.degraded += 1;
+            r.degraded_slots.insert(
+                spec.slot,
+                DegradedSlot {
+                    use_case: cell.use_case.clone(),
+                    version: cell.version,
+                    mode: cell.mode,
+                    trial: spec.trial,
+                    outcome: cell.outcome.clone(),
+                    error: cell.error.clone(),
+                },
+            );
+        } else {
+            r.completed += 1;
+        }
+        if cell.erroneous_state {
+            r.erroneous_states += 1;
+        }
+        if cell.violated() {
+            r.violated_cells += 1;
+        }
+        r.violations += cell.violations.len() as u64;
+        if cell.handled {
+            r.handled += 1;
+        }
+        match &cell.outcome {
+            CellOutcome::BootFailed => r.boot_failed += 1,
+            CellOutcome::Crashed { .. } => r.crashed += 1,
+            CellOutcome::TimedOut { .. } => r.timed_out += 1,
+            CellOutcome::Completed => {}
+        }
+        r.retries += u64::from(cell.attempts.saturating_sub(1));
+        r.hypercalls += cell.hypercalls;
+        r.wall_time_us += cell.wall_time_us;
+        r.frames_copied += cell.snapshot.frames_copied;
+        r.tlb_hits += cell.tlb.hits;
+        r.tlb_misses += cell.tlb.misses;
+        let key = format!("{}/{}/{}", cell.use_case, cell.version, cell.mode);
+        let summary = r.by_key.entry(key).or_default();
+        summary.cells += 1;
+        if degraded {
+            summary.degraded += 1;
+        } else {
+            summary.completed += 1;
+        }
+        if cell.erroneous_state {
+            summary.erroneous_states += 1;
+        }
+        if cell.violated() {
+            summary.violated += 1;
+        }
+        if cell.handled {
+            summary.handled += 1;
+        }
+        summary.hypercalls += cell.hypercalls;
+        let (boot, inject, monitor) = if degraded {
+            (&mut self.phases.boot_degraded, &mut self.phases.inject_degraded, &mut self.phases.monitor_degraded)
+        } else {
+            (&mut self.phases.boot_completed, &mut self.phases.inject_completed, &mut self.phases.monitor_completed)
+        };
+        if let Some(v) = cell.phase_us.boot_us {
+            boot.record(v);
+        }
+        if let Some(v) = cell.phase_us.inject_us {
+            inject.record(v);
+        }
+        if let Some(v) = cell.phase_us.monitor_us {
+            monitor.record(v);
+        }
+    }
+
+    /// The first slot this fold saw (for deterministic merge ordering).
+    pub(crate) fn first_slot(&self) -> Option<u64> {
+        self.first_slot
+    }
+
+    /// Absorbs another fold (all aggregates commute; ordering is only
+    /// for reproducibility of intermediate states).
+    pub(crate) fn absorb(&mut self, other: &PartialFold) {
+        if self.first_slot.is_none() {
+            self.first_slot = other.first_slot;
+        }
+        self.report = self.report.merge(&other.report);
+        self.phases.merge(&other.phases);
+    }
+
+    /// Finalizes into the report (with exact latency summaries) and the
+    /// raw histograms for the metrics fold.
+    pub(crate) fn finish(mut self) -> (StreamReport, PhaseHistograms) {
+        self.report.latency = self.phases.breakdown();
+        (self.report, self.phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn grid() -> SpecGrid {
+        SpecGrid::new(
+            2,
+            &[XenVersion::V4_6, XenVersion::V4_13],
+            &[Mode::Exploit, Mode::Injection],
+            3,
+        )
+    }
+
+    #[test]
+    fn grid_len_and_decode_round_trip() {
+        let g = grid();
+        assert_eq!(g.len(), 2 * 2 * 2 * 3);
+        for (i, spec) in g.iter().enumerate() {
+            assert_eq!(spec.slot, i as u64);
+            assert_eq!(g.decode(spec.slot), Some(spec));
+        }
+        assert_eq!(g.decode(g.len()), None);
+        // Slot order is use-case-major, trial fastest-varying.
+        let first = g.decode(0).unwrap();
+        assert_eq!((first.use_case, first.trial), (0, 0));
+        let second = g.decode(1).unwrap();
+        assert_eq!((second.use_case, second.trial), (0, 1));
+        assert_eq!(second.version, first.version);
+        let last = g.decode(g.len() - 1).unwrap();
+        assert_eq!((last.use_case, last.trial), (1, 2));
+    }
+
+    #[test]
+    fn trials_one_matches_classic_work_order() {
+        let g = SpecGrid::new(2, &[XenVersion::V4_6, XenVersion::V4_8], &[Mode::Exploit, Mode::Injection], 1);
+        let streamed: Vec<(usize, XenVersion, Mode)> =
+            g.iter().map(|s| (s.use_case, s.version, s.mode)).collect();
+        let mut classic = Vec::new();
+        for uc in 0..2 {
+            for &version in &[XenVersion::V4_6, XenVersion::V4_8] {
+                for &mode in &[Mode::Exploit, Mode::Injection] {
+                    classic.push((uc, version, mode));
+                }
+            }
+        }
+        assert_eq!(streamed, classic);
+    }
+
+    #[test]
+    fn shards_partition_the_grid_exactly() {
+        let g = grid();
+        for n in [1u64, 2, 3, 5, 7] {
+            let mut seen = Vec::new();
+            let mut total = 0;
+            for i in 0..n {
+                let shard = Some(Shard::new(i, n).unwrap());
+                let slots: Vec<u64> = g.shard_iter(shard).map(|s| s.slot).collect();
+                assert_eq!(slots.len() as u64, g.shard_len(shard));
+                total += slots.len();
+                seen.extend(slots);
+            }
+            seen.sort_unstable();
+            assert_eq!(total as u64, g.len(), "{n} shards must cover the grid");
+            assert_eq!(seen, (0..g.len()).collect::<Vec<_>>(), "no overlap, no gap");
+        }
+    }
+
+    #[test]
+    fn shard_parse_and_validate() {
+        assert_eq!(Shard::parse("0/2").unwrap(), Shard { index: 0, count: 2 });
+        assert_eq!(Shard::parse("4/5").unwrap().to_string(), "4/5");
+        assert!(Shard::parse("2/2").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+        assert!(Shard::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = SpecGrid::new(0, &[XenVersion::V4_6], &[Mode::Exploit], 1);
+        assert!(g.is_empty());
+        assert_eq!(g.iter().count(), 0);
+        assert_eq!(g.shard_len(Some(Shard { index: 0, count: 2 })), 0);
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_and_close() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(i);
+                }
+                q.close();
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn resident_gauge_tracks_peak() {
+        let g = ResidentGauge::default();
+        g.enter();
+        g.enter();
+        g.exit();
+        g.enter();
+        assert_eq!(g.peak(), 2);
+    }
+
+    #[test]
+    fn merge_is_associative_and_normalizes() {
+        let mut fold_a = PartialFold::default();
+        let mut fold_b = PartialFold::default();
+        let g = grid();
+        // Synthesize folds directly from specs (no worlds needed).
+        for spec in g.iter() {
+            let cell = CellResult {
+                use_case: format!("uc{}", spec.use_case),
+                abusive_functionality: "test".into(),
+                version: spec.version,
+                mode: spec.mode,
+                erroneous_state: spec.trial % 2 == 0,
+                violations: Vec::new(),
+                handled: spec.trial % 2 == 0,
+                notes: Vec::new(),
+                error: None,
+                outcome: CellOutcome::Completed,
+                attempts: 1,
+                wall_time_us: 10 + spec.slot,
+                hypercalls: 3,
+                phase_us: crate::campaign::PhaseTimings {
+                    boot_us: Some(1),
+                    inject_us: Some(2),
+                    monitor_us: Some(3),
+                },
+                snapshot: hvsim::SnapshotStats::default(),
+                tlb: hvsim::TlbStats::default(),
+            };
+            if spec.slot % 2 == 0 {
+                fold_a.fold(&spec, &cell);
+            } else {
+                fold_b.fold(&spec, &cell);
+            }
+        }
+        let (a, _) = {
+            let mut whole = PartialFold::default();
+            whole.absorb(&fold_a);
+            whole.absorb(&fold_b);
+            whole.finish()
+        };
+        let (ra, _) = fold_a.finish();
+        let (rb, _) = fold_b.finish();
+        assert_eq!(ra.merge(&rb).normalized(), a.normalized());
+        assert_eq!(rb.merge(&ra).normalized(), a.normalized(), "merge commutes");
+        assert_eq!(a.cells, g.len());
+        assert_eq!(a.hypercalls, 3 * g.len());
+        let json = a.normalized().to_json().unwrap();
+        assert_eq!(StreamReport::from_json(&json).unwrap(), a.normalized());
+    }
+
+    #[test]
+    fn degraded_cells_are_retained_by_slot() {
+        let g = grid();
+        let spec = g.decode(5).unwrap();
+        let cell = CellResult {
+            use_case: "uc".into(),
+            abusive_functionality: "test".into(),
+            version: spec.version,
+            mode: spec.mode,
+            erroneous_state: false,
+            violations: Vec::new(),
+            handled: false,
+            notes: Vec::new(),
+            error: Some(CampaignError::Boot { message: "-ENOMEM".into(), attempts: 2 }),
+            outcome: CellOutcome::BootFailed,
+            attempts: 2,
+            wall_time_us: 5,
+            hypercalls: 0,
+            phase_us: crate::campaign::PhaseTimings::default(),
+            snapshot: hvsim::SnapshotStats::default(),
+            tlb: hvsim::TlbStats::default(),
+        };
+        let mut fold = PartialFold::default();
+        fold.fold(&spec, &cell);
+        let (report, _) = fold.finish();
+        assert!(report.is_degraded());
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.boot_failed, 1);
+        let slot = report.degraded_slots.get(&5).unwrap();
+        assert_eq!(slot.outcome, CellOutcome::BootFailed);
+        assert_eq!(slot.trial, spec.trial);
+        assert!(report.render_keys().contains("uc/"));
+    }
+}

@@ -87,6 +87,18 @@ impl Histogram {
         self.max
     }
 
+    /// Absorbs every observation of `other`. Buckets are fixed and
+    /// positional, so merging is exact and commutative — the merge of
+    /// per-worker histograms is byte-identical to one histogram that
+    /// observed every value itself.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
     /// Condenses the histogram into the summary serialized in reports.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -196,6 +208,14 @@ impl MetricsRegistry {
         histograms.entry(name.to_owned()).or_default().record(value_us);
     }
 
+    /// Merges a pre-aggregated histogram into the named histogram —
+    /// how streaming campaigns fold per-worker latency histograms into
+    /// the registry in one exact, order-independent step.
+    pub fn observe_histogram(&self, name: &str, histogram: &Histogram) {
+        let mut histograms = lock_recover(&self.inner.histograms);
+        histograms.entry(name.to_owned()).or_default().merge(histogram);
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         lock_recover(&self.inner.counters).get(name).copied().unwrap_or(0)
@@ -250,6 +270,33 @@ mod tests {
         assert_eq!(s.p50_us, 3);
         assert!(s.p95_us >= 1000);
         assert!(s.p50_us <= s.p95_us && s.p95_us <= s.max_us);
+    }
+
+    #[test]
+    fn merged_histograms_match_one_that_saw_everything() {
+        let values_a = [0u64, 3, 100, 4096];
+        let values_b = [1u64, 3, 99, 1_000_000];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in values_a {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge is exact, not an approximation");
+
+        let reg = MetricsRegistry::new();
+        reg.observe("lat", 7);
+        reg.observe_histogram("lat", &b);
+        let mut expect = Histogram::new();
+        expect.record(7);
+        expect.merge(&b);
+        assert_eq!(reg.snapshot().histograms[0].summary, expect.summary());
     }
 
     #[test]
