@@ -1,0 +1,54 @@
+//! Checkpoint-journal overhead on the streaming hot path: the same
+//! synthetic grid with journaling off, at the default fold interval,
+//! and at a pathologically small interval (a durable fsync'd fold every
+//! 16 slots). The `table3_campaign` binary asserts the default-interval
+//! cost stays under 10% and records it in `BENCH_campaign.json`; this
+//! bench exists to localize regressions when that gate trips.
+
+use bench::synthetic_campaign;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// 3 versions × 400 trials = 1,200 cells per iteration.
+const TRIALS: u64 = 400;
+const SEED: u64 = 0xD5_2023;
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let journal = std::env::temp_dir().join(format!("hvsim-bench-{}.journal", std::process::id()));
+    let mut group = c.benchmark_group("checkpoint_overhead/1200_cells");
+    group.sample_size(10);
+    group.bench_function("no_journal_jobs4", |b| {
+        b.iter(|| synthetic_campaign(SEED, TRIALS).jobs(4).run_streaming())
+    });
+    group.bench_function("journal_default_interval_jobs4", |b| {
+        b.iter(|| {
+            synthetic_campaign(SEED, TRIALS)
+                .jobs(4)
+                .run_streaming_checkpointed(&journal)
+                .expect("journal opens in temp dir")
+        })
+    });
+    group.bench_function("journal_interval16_jobs4", |b| {
+        b.iter(|| {
+            synthetic_campaign(SEED, TRIALS)
+                .jobs(4)
+                .checkpoint_interval(16)
+                .run_streaming_checkpointed(&journal)
+                .expect("journal opens in temp dir")
+        })
+    });
+    group.bench_function("journal_slots_sidecar_jobs4", |b| {
+        b.iter(|| {
+            synthetic_campaign(SEED, TRIALS)
+                .jobs(4)
+                .journal_slots(true)
+                .run_streaming_checkpointed(&journal)
+                .expect("journal opens in temp dir")
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(format!("{}.slots", journal.display())).ok();
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+criterion_main!(benches);

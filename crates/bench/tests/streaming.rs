@@ -5,7 +5,7 @@
 //! across shard/merge decompositions.
 
 use bench::{paper_campaign, synthetic_campaign};
-use intrusion_core::Shard;
+use intrusion_core::{Shard, StreamReport};
 
 #[test]
 fn hundred_thousand_cell_campaign_is_bounded_and_deterministic() {
@@ -53,6 +53,37 @@ fn hundred_thousand_cell_campaign_is_bounded_and_deterministic() {
         merged.normalized().to_json().unwrap(),
         "merged shard reports must reproduce the unsharded report"
     );
+}
+
+#[test]
+fn merge_misuse_fails_loudly_instead_of_double_counting() {
+    let report = |trials: u64, shard: Option<Shard>| {
+        let mut campaign = synthetic_campaign(7, trials).queue_depth(8);
+        if let Some(shard) = shard {
+            campaign = campaign.shard(shard);
+        }
+        campaign.run_streaming_with_jobs(2).report
+    };
+    // Different grids (trials axis differs): refused, named in the error.
+    let four = report(4, None);
+    let five = report(5, None);
+    let err = four.try_merge(&five).unwrap_err().to_string();
+    assert!(err.contains("different campaign grids"), "grid mismatch is loud: {err}");
+    // The same shard twice: every slot would be double-counted.
+    let half0 = report(4, Some(Shard::new(0, 2).unwrap()));
+    let err = half0.try_merge(&half0.clone()).unwrap_err().to_string();
+    assert!(err.contains("overlap"), "identical shards overlap: {err}");
+    // Overlap through different denominators: 0/2 covers slots 2/4 does.
+    let quarter2 = report(4, Some(Shard::new(2, 4).unwrap()));
+    let err = half0.try_merge(&quarter2).unwrap_err().to_string();
+    assert!(err.contains("overlap"), "0/2 and 2/4 overlap: {err}");
+    // Disjoint shards and the default-identity report still merge.
+    let half1 = report(4, Some(Shard::new(1, 2).unwrap()));
+    let merged = StreamReport::default().try_merge(&half0).unwrap().try_merge(&half1).unwrap();
+    assert_eq!(merged.cells, four.cells);
+    // Deserializing non-reports fails instead of yielding zeroed data.
+    assert!(StreamReport::from_json("{}").is_err());
+    assert!(StreamReport::from_json("not a report").is_err());
 }
 
 #[test]

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! intrusion-injector campaign [--extensions] [--json] [--jobs 4] [--trace-out t.jsonl]
+//! intrusion-injector campaign --stream --checkpoint c.journal [--chaos-seed 7]
+//! intrusion-injector campaign resume c.journal
 //! intrusion-injector run --use-case XSA-182-test --version 4.13 --mode injection
 //! intrusion-injector randomized --region idt --trials 24 --seed 7 --version 4.8
 //! intrusion-injector benchmark [--jobs 4]
@@ -19,10 +21,12 @@ use args::{ArgError, Parsed};
 use hvsim_obs::{parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer};
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
-    ArbitraryAccessInjector, Campaign, CampaignReport, Mode, RandomizedCampaign, RandomizedSummary,
-    SecurityBenchmark, Shard, StreamReport, TargetRegion, UseCase,
+    read_header, ArbitraryAccessInjector, Campaign, CampaignReport, ChaosConfig, Mode,
+    RandomizedCampaign, RandomizedSummary, SecurityBenchmark, Shard, StreamReport, TargetRegion,
+    UseCase,
 };
 use hvsim::XenVersion;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 use xsa_exploits::{extension_use_cases, paper_use_cases};
@@ -54,6 +58,23 @@ COMMANDS:
                    [--trials <n>]  trials per (use case, version, mode) cell
                    [--report-out <file>]   with --stream: write the normalized
                                    mergeable report as JSON
+                   [--checkpoint <file>]   journal durable progress so a killed
+                                   run can 'campaign resume <file>' (implies
+                                   --stream); resumed runs produce the same
+                                   normalized report byte-for-byte
+                   [--checkpoint-interval <n>]  slots per durable fold record
+                                   (default 1024)
+                   [--journal-slots]  with --checkpoint: also stream per-cell
+                                   forensic records to <file>.slots (never
+                                   synced, never read by recovery)
+                   [--chaos-seed <n>]  deterministic fault injection: seeded
+                                   worker panics, transient boots, slowdowns,
+                                   queue stalls, torn journal writes (implies
+                                   --stream; same seed => same faults at any
+                                   --jobs count)
+                 resume <file>   resume a checkpointed campaign from its
+                                   journal; grid shape, trials and shard are
+                                   restored from the journal header
     report       operate on streamed campaign reports
                    merge <out> <in>...   merge shard reports written by
                                          'campaign --stream --report-out'
@@ -205,6 +226,19 @@ fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, St
     if let Some(raw) = p.options.get("shard") {
         campaign = campaign.shard(Shard::parse(raw).map_err(|e| format!("--shard: {e}"))?);
     }
+    if let Some(raw) = p.options.get("checkpoint-interval") {
+        let interval: u64 =
+            raw.parse().map_err(|_| "--checkpoint-interval must be a number".to_owned())?;
+        campaign = campaign.checkpoint_interval(interval);
+    }
+    if p.has_flag("journal-slots") {
+        campaign = campaign.journal_slots(true);
+    }
+    if let Some(raw) = p.options.get("chaos-seed") {
+        let seed: u64 =
+            raw.parse().map_err(|_| "--chaos-seed must be a number".to_owned())?;
+        campaign = campaign.chaos(ChaosConfig::standard(seed));
+    }
     Ok(campaign)
 }
 
@@ -250,19 +284,62 @@ fn find_use_case(name: &str) -> Option<Box<dyn UseCase>> {
 }
 
 fn cmd_campaign(p: &Parsed) -> Result<CliOutcome, String> {
+    // `campaign resume <journal>` is the only positional form.
+    let resume_path = match p.positionals.first().map(String::as_str) {
+        None => None,
+        Some("resume") => {
+            let path =
+                p.positionals.get(1).ok_or("campaign resume needs a journal path")?.clone();
+            if let Some(extra) = p.positionals.get(2) {
+                return Err(format!("unexpected argument '{extra}'"));
+            }
+            Some(path)
+        }
+        Some(other) => return Err(format!("unexpected argument '{other}'")),
+    };
+    let resume_header = resume_path
+        .as_deref()
+        .map(|path| read_header(Path::new(path)).map_err(|e| e.to_string()))
+        .transpose()?;
     let mut campaign = configure_campaign(Campaign::new(), p)?;
+    // On resume the journal header is authoritative for the grid shape:
+    // restore extensions, trials, and shard from it so the resumed grid
+    // matches (resume still verifies the full fingerprint and refuses a
+    // journal from a different campaign).
+    let want_extensions = p.has_flag("extensions")
+        || resume_header
+            .as_ref()
+            .is_some_and(|h| h.grid.use_cases.len() > paper_use_cases().len());
     for uc in paper_use_cases() {
         campaign = campaign.with_use_case(uc);
     }
-    if p.has_flag("extensions") {
+    if want_extensions {
         for uc in extension_use_cases() {
             campaign = campaign.with_use_case(uc);
         }
     }
+    if let Some(header) = &resume_header {
+        campaign = campaign.trials(header.grid.trials);
+        if let Some(shard) = header.shard {
+            campaign = campaign.shard(shard);
+        }
+    }
     let (campaign, hooks) = attach_obs(campaign, p);
-    if p.has_flag("stream") {
-        eprintln!("streaming the campaign ...");
-        let outcome = campaign.run_streaming();
+    let streaming = p.has_flag("stream")
+        || resume_path.is_some()
+        || p.options.contains_key("checkpoint")
+        || p.options.contains_key("chaos-seed");
+    if streaming {
+        let outcome = if let Some(path) = &resume_path {
+            eprintln!("resuming the campaign from {path} ...");
+            campaign.resume(Path::new(path)).map_err(|e| e.to_string())?
+        } else if let Some(path) = p.options.get("checkpoint") {
+            eprintln!("streaming the campaign (journal: {path}) ...");
+            campaign.run_streaming_checkpointed(Path::new(path)).map_err(|e| e.to_string())?
+        } else {
+            eprintln!("streaming the campaign ...");
+            campaign.run_streaming()
+        };
         write_obs_outputs(p, &hooks)?;
         if let Some(path) = p.options.get("report-out") {
             let json = outcome.report.normalized().to_json().map_err(|e| e.to_string())?;
@@ -467,7 +544,9 @@ fn cmd_report(p: &Parsed) -> Result<CliOutcome, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
         let report = StreamReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-        merged = merged.merge(&report);
+        // Refuse loudly instead of silently double-counting: reports
+        // from different grids or overlapping shards never merge.
+        merged = merged.try_merge(&report).map_err(|e| format!("{path}: {e}"))?;
     }
     let json = merged.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("could not write {out}: {e}"))?;
@@ -488,9 +567,10 @@ fn cmd_models() -> Result<CliOutcome, String> {
 
 fn run(argv: Vec<String>) -> Result<CliOutcome, String> {
     let parsed = args::parse(argv).map_err(|e| e.to_string())?;
-    // Only `trace` (action + file) and `report` (action + paths) take
-    // positional arguments.
-    if parsed.command != "trace" && parsed.command != "report" {
+    // Only `trace` (action + file), `report` (action + paths), and
+    // `campaign` (`resume <journal>`) take positional arguments; each
+    // validates its own.
+    if parsed.command != "trace" && parsed.command != "report" && parsed.command != "campaign" {
         parsed.no_positionals().map_err(|e| e.to_string())?;
     }
     match parsed.command.as_str() {
@@ -757,6 +837,114 @@ mod tests {
         assert!(err.contains("expected merge"));
         let err = run(vec!["campaign".into(), "--shard".into(), "5/2".into()]).unwrap_err();
         assert!(err.contains("--shard"));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_to_the_same_report() {
+        let dir = std::env::temp_dir();
+        let journal = dir.join("cli_ckpt.journal").display().to_string();
+        let full = dir.join("cli_ckpt_full.json").display().to_string();
+        let resumed = dir.join("cli_ckpt_resumed.json").display().to_string();
+        // A full checkpointed run with the opt-in forensic sidecar: the
+        // journal ends complete and the sidecar holds slot records.
+        let outcome = run(vec![
+            "campaign".into(),
+            "--checkpoint".into(),
+            journal.clone(),
+            "--checkpoint-interval".into(),
+            "4".into(),
+            "--journal-slots".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--report-out".into(),
+            full.clone(),
+        ])
+        .unwrap();
+        assert_eq!(outcome, CliOutcome::Violations);
+        let sidecar = std::fs::read_to_string(format!("{journal}.slots")).unwrap();
+        assert!(sidecar.contains("journal/slot"), "--journal-slots streams forensics");
+        // Tear the journal's tail (simulating a mid-write kill), then
+        // resume: the normalized report must come back byte-identical.
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - bytes.len() / 4]).unwrap();
+        let outcome = run(vec![
+            "campaign".into(),
+            "resume".into(),
+            journal.clone(),
+            "--jobs".into(),
+            "2".into(),
+            "--report-out".into(),
+            resumed.clone(),
+        ])
+        .unwrap();
+        assert_eq!(outcome, CliOutcome::Violations);
+        assert_eq!(
+            std::fs::read_to_string(&full).unwrap(),
+            std::fs::read_to_string(&resumed).unwrap(),
+            "resumed report must be byte-identical to the uninterrupted one"
+        );
+        // Resuming something that is not a journal fails loudly.
+        let not_journal = dir.join("cli_ckpt_not_a_journal").display().to_string();
+        std::fs::write(&not_journal, "definitely not a journal\n").unwrap();
+        let err = run(vec!["campaign".into(), "resume".into(), not_journal]).unwrap_err();
+        assert!(err.contains("journal"), "non-journals are rejected: {err}");
+        let err = run(vec!["campaign".into(), "resume".into()]).unwrap_err();
+        assert!(err.contains("journal path"));
+        let err = run(vec!["campaign".into(), "sideways".into()]).unwrap_err();
+        assert!(err.contains("unexpected argument"));
+        for stale in [journal.clone(), format!("{journal}.slots"), full, resumed] {
+            std::fs::remove_file(stale).ok();
+        }
+    }
+
+    #[test]
+    fn report_merge_refuses_mismatched_or_overlapping_inputs() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("cli_merge_a.json").display().to_string();
+        let merged = dir.join("cli_merge_out.json").display().to_string();
+        run(vec![
+            "campaign".into(),
+            "--stream".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--shard".into(),
+            "0/2".into(),
+            "--report-out".into(),
+            a.clone(),
+        ])
+        .unwrap();
+        // The same shard twice would double-count every slot.
+        let err =
+            run(vec!["report".into(), "merge".into(), merged, a.clone(), a]).unwrap_err();
+        assert!(err.contains("overlap"), "overlap is refused loudly: {err}");
+    }
+
+    #[test]
+    fn chaos_seed_runs_deterministically_degraded() {
+        let dir = std::env::temp_dir();
+        let r1 = dir.join("cli_chaos_1.json").display().to_string();
+        let r8 = dir.join("cli_chaos_8.json").display().to_string();
+        let chaos = |jobs: &str, out: &str| {
+            run(vec![
+                "campaign".into(),
+                "--chaos-seed".into(),
+                "7".into(),
+                "--jobs".into(),
+                jobs.into(),
+                "--report-out".into(),
+                out.into(),
+            ])
+            .unwrap()
+        };
+        assert_eq!(chaos("1", &r1), CliOutcome::Degraded, "chaos degrades the run: exit 2");
+        assert_eq!(chaos("8", &r8), CliOutcome::Degraded);
+        assert_eq!(
+            std::fs::read_to_string(&r1).unwrap(),
+            std::fs::read_to_string(&r8).unwrap(),
+            "seeded chaos is schedule-independent: jobs 1 and 8 agree byte-for-byte"
+        );
+        let err = run(vec!["campaign".into(), "--chaos-seed".into(), "soon".into()]).unwrap_err();
+        assert!(err.contains("--chaos-seed"));
     }
 
     #[test]

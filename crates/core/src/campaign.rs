@@ -2,15 +2,17 @@
 //! monitoring — the machinery behind the paper's Tables II/III and
 //! Figs. 2/4.
 
-use crate::error::{panic_payload, CampaignError, CellId, CellOutcome};
+use crate::chaos::{splitmix64, ChaosConfig, ChaosPolicy, ChaosSink, ChaosUseCase};
+use crate::checkpoint::{fnv64, slot_digest, CheckpointSession, JournalSink};
+use crate::error::{panic_payload, CampaignError, CellId, CellOutcome, CheckpointError};
 use crate::injector::ArbitraryAccessInjector;
 use crate::monitor::SecurityViolation;
 use crate::obs_bridge;
 use crate::report::{TextTable, CHECK, SHIELD};
 use crate::scenario::{Mode, UseCase};
 use crate::stream::{
-    BoundedQueue, CellSpec, PartialFold, ResidentGauge, Shard, SpecGrid, StreamOutcome,
-    StreamRunStats,
+    BoundedQueue, CellSpec, GridFingerprint, PartialFold, ResidentGauge, Shard, SpecGrid,
+    StreamOutcome, StreamRunStats,
 };
 use guestos::{BootError, World, WorldBuilder};
 use hvsim::{SnapshotStats, TlbStats, XenVersion};
@@ -18,6 +20,7 @@ use hvsim_obs::{HistogramSummary, MetricsRegistry, MetricsSnapshot, TraceCtx, Tr
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -521,6 +524,20 @@ pub struct CampaignConfig {
     /// reports reproduces the unsharded report byte-for-byte after
     /// normalization.
     pub shard: Option<Shard>,
+    /// Slots between durable fold records per worker when a streaming
+    /// run is checkpointed (see
+    /// [`Campaign::run_streaming_checkpointed`]). Smaller intervals
+    /// lose less work on a crash but sync more often.
+    pub checkpoint_interval: u64,
+    /// Also stream per-cell forensic slot records to the `<journal>.slots`
+    /// sidecar during a checkpointed run (which cells ran, in what
+    /// order, with what digest). Off by default: recovery never reads
+    /// slot records, and at ~150 bytes per cell they cost measurable
+    /// throughput on slow or contended storage.
+    pub journal_slots: bool,
+    /// Seeded harness-fault injection (see [`crate::chaos`]); `None`
+    /// (the default) runs no chaos.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -534,6 +551,9 @@ impl Default for CampaignConfig {
             trials: 1,
             queue_depth: None,
             shard: None,
+            checkpoint_interval: 1024,
+            journal_slots: false,
+            chaos: None,
         }
     }
 }
@@ -661,9 +681,45 @@ impl Campaign {
         self
     }
 
+    /// Sets the checkpoint fold interval (see
+    /// [`CampaignConfig::checkpoint_interval`]). `0` is treated as 1.
+    #[must_use]
+    pub fn checkpoint_interval(mut self, interval: u64) -> Self {
+        self.config.checkpoint_interval = interval.max(1);
+        self
+    }
+
+    /// Enables the per-cell forensic slot sidecar for checkpointed
+    /// runs (see [`CampaignConfig::journal_slots`]).
+    #[must_use]
+    pub fn journal_slots(mut self, enabled: bool) -> Self {
+        self.config.journal_slots = enabled;
+        self
+    }
+
+    /// Enables seeded harness-fault injection (see
+    /// [`CampaignConfig::chaos`]).
+    #[must_use]
+    pub fn chaos(mut self, config: ChaosConfig) -> Self {
+        self.config.chaos = Some(config);
+        self
+    }
+
     /// The campaign's cell grid: use cases × versions × modes × trials.
     pub fn grid(&self) -> SpecGrid {
         SpecGrid::new(self.use_cases.len(), &self.versions, &self.modes, self.config.trials)
+    }
+
+    /// The campaign's grid identity — stamped into streamed reports
+    /// (so mismatched reports refuse to merge) and into checkpoint
+    /// journals (so a journal refuses to resume the wrong campaign).
+    pub fn fingerprint(&self) -> GridFingerprint {
+        GridFingerprint {
+            use_cases: self.use_cases.iter().map(|uc| uc.name().to_owned()).collect(),
+            versions: self.versions.clone(),
+            modes: self.modes.clone(),
+            trials: self.config.trials.max(1),
+        }
     }
 
     /// Replaces the whole configuration at once.
@@ -754,6 +810,7 @@ impl Campaign {
                             spec.mode,
                             spec.trial,
                             base_worlds.as_ref().map(|worlds| (worlds, &mut cache)),
+                            0,
                         );
                         self.finalize_slot(&slots[i], started, cell);
                         completed.fetch_add(1, Ordering::Release);
@@ -848,6 +905,110 @@ impl Campaign {
     /// finishes late; there is no watchdog thread because no slot
     /// vector exists to re-label.
     pub fn run_streaming_with_jobs(&self, jobs: usize) -> StreamOutcome {
+        self.stream_impl(jobs, None, self.chaos_policy())
+    }
+
+    /// Streams the grid like [`Campaign::run_streaming`], journaling
+    /// durable progress to `path` so a killed run can
+    /// [`Campaign::resume`] and still produce a byte-identical merged
+    /// report. The journal is created fresh (any existing file is
+    /// truncated) and its header is made durable before any cell runs.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the journal cannot be created — a
+    /// checkpointed campaign refuses to run without durability. Journal
+    /// errors *after* startup are fail-soft: journaling stops (counted
+    /// in `campaign.checkpoint.write_errors`) and the run completes.
+    pub fn run_streaming_checkpointed(&self, path: &Path) -> Result<StreamOutcome, CheckpointError> {
+        let policy = self.chaos_policy();
+        let session = self.with_journal_wrap(&policy, |wrap| {
+            CheckpointSession::create(
+                path,
+                self.fingerprint(),
+                self.config.shard,
+                self.config.checkpoint_interval,
+                self.config.journal_slots,
+                wrap,
+            )
+        })?;
+        Ok(self.stream_impl(
+            self.config.jobs.unwrap_or_else(default_jobs),
+            Some(session),
+            policy,
+        ))
+    }
+
+    /// Resumes a checkpointed streaming run from its journal: reloads
+    /// the valid prefix (truncating a torn tail), re-enqueues only the
+    /// slots no durable fold record covers, and merges the recovered
+    /// folds with the fresh ones — so the final normalized report is
+    /// byte-identical to an uninterrupted run of the same campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the journal is unreadable, is not a
+    /// journal, or was written by a different campaign grid or shard.
+    pub fn resume(&self, path: &Path) -> Result<StreamOutcome, CheckpointError> {
+        let policy = self.chaos_policy();
+        let session = self.with_journal_wrap(&policy, |wrap| {
+            CheckpointSession::resume(
+                path,
+                &self.fingerprint(),
+                self.config.shard,
+                self.config.checkpoint_interval,
+                self.config.journal_slots,
+                wrap,
+            )
+        })?;
+        Ok(self.stream_impl(
+            self.config.jobs.unwrap_or_else(default_jobs),
+            Some(session),
+            policy,
+        ))
+    }
+
+    /// The run's chaos policy, when chaos is configured and non-noop.
+    fn chaos_policy(&self) -> Option<Arc<ChaosPolicy>> {
+        self.config
+            .chaos
+            .filter(|config| !config.is_noop())
+            .map(|config| Arc::new(ChaosPolicy::new(config)))
+    }
+
+    /// Calls `open` with the journal sink transformer this run needs:
+    /// the identity normally, the torn-write chaos wrapper when chaos
+    /// configures one.
+    fn with_journal_wrap<T>(
+        &self,
+        policy: &Option<Arc<ChaosPolicy>>,
+        open: impl FnOnce(crate::checkpoint::SinkWrap<'_>) -> T,
+    ) -> T {
+        match policy {
+            Some(p) if p.config().torn_write_permille > 0 => {
+                let p = Arc::clone(p);
+                open(&move |sink: Box<dyn JournalSink>| {
+                    Box::new(ChaosSink::new(sink, Arc::clone(&p))) as Box<dyn JournalSink>
+                })
+            }
+            _ => open(&|sink| sink),
+        }
+    }
+
+    /// The streaming engine body shared by plain, checkpointed, and
+    /// resumed runs. With a session, the generator skips slots already
+    /// covered by durable fold records, each worker journals its
+    /// progress (a synced fold record every `checkpoint_interval` slots
+    /// and at drain, plus per-cell slot records when the forensic
+    /// sidecar is enabled), and recovered folds
+    /// merge in exactly like fresh ones. With a chaos policy, slot-
+    /// keyed faults are injected along the way (see [`crate::chaos`]).
+    fn stream_impl(
+        &self,
+        jobs: usize,
+        session: Option<CheckpointSession>,
+        policy: Option<Arc<ChaosPolicy>>,
+    ) -> StreamOutcome {
         let run_start = Instant::now();
         let grid = self.grid();
         let shard = self.config.shard;
@@ -864,47 +1025,125 @@ impl Campaign {
         let queue: BoundedQueue<CellSpec> = BoundedQueue::new(queue_depth);
         let resident = ResidentGauge::default();
         let folds: Mutex<Vec<PartialFold>> = Mutex::new(Vec::with_capacity(workers));
-        std::thread::scope(|scope| {
-            scope.spawn(|| {
-                for spec in grid.shard_iter(shard) {
-                    resident.enter();
-                    queue.push(spec);
-                }
-                queue.close();
-            });
-            for _ in 0..workers {
+        let first_worker = session.as_ref().map_or(1, |s| s.first_worker);
+        {
+            let session = session.as_ref();
+            let policy = policy.as_deref();
+            std::thread::scope(|scope| {
                 scope.spawn(|| {
-                    let mut cache: BaseCache = BTreeMap::new();
-                    let mut fold = PartialFold::default();
-                    while let Some(spec) = queue.pop() {
-                        let started = Instant::now();
-                        let ctx = self.tracer.ctx(spec.slot + 1);
-                        let uc = &*self.use_cases[spec.use_case];
-                        let mut cell = self.run_cell_contained(
-                            &ctx,
-                            uc,
-                            spec.version,
-                            spec.mode,
-                            spec.trial,
-                            base_worlds.as_ref().map(|worlds| (worlds, &mut cache)),
-                        );
-                        if self.config.cell_deadline.is_some_and(|d| started.elapsed() > d) {
-                            cell = self.timed_out_cell(
-                                uc,
+                    for spec in grid.shard_iter(shard) {
+                        if session.is_some_and(|s| s.is_done(spec.slot)) {
+                            continue;
+                        }
+                        if let Some(stall) = policy.and_then(|p| p.queue_stall(spec.slot)) {
+                            std::thread::sleep(stall);
+                        }
+                        resident.enter();
+                        queue.push(spec);
+                    }
+                    queue.close();
+                });
+                for index in 0..workers {
+                    let worker_id = first_worker + index as u64;
+                    let queue = &queue;
+                    let resident = &resident;
+                    let folds = &folds;
+                    let base_worlds = &base_worlds;
+                    scope.spawn(move || {
+                        let mut cache: BaseCache = BTreeMap::new();
+                        let mut fold = PartialFold::default();
+                        let mut seq = 0u64;
+                        let mut batch: Vec<u64> = Vec::new();
+                        let mut pending = crate::checkpoint::SlotBuffer::default();
+                        while let Some(spec) = queue.pop() {
+                            let started = Instant::now();
+                            let ctx = self.tracer.ctx(spec.slot + 1);
+                            let uc = &*self.use_cases[spec.use_case];
+                            // Chaos decisions are slot-keyed and made
+                            // exactly once, here — the only place that
+                            // knows both the slot and the cell.
+                            let (chaos_panic, chaos_slow, chaos_boot_faults) = policy
+                                .map_or((false, None, 0), |p| {
+                                    (
+                                        p.worker_panic(spec.slot),
+                                        p.slowdown(spec.slot, self.config.cell_deadline),
+                                        p.transient_boot_faults(spec.slot, self.config.retries),
+                                    )
+                                });
+                            let chaos_uc;
+                            let run_uc: &dyn UseCase = if chaos_panic || chaos_slow.is_some() {
+                                chaos_uc = ChaosUseCase::new(uc, chaos_panic, chaos_slow);
+                                &chaos_uc
+                            } else {
+                                uc
+                            };
+                            // Forced transient boots take the fresh-boot
+                            // path (snapshot clones are proven identical
+                            // to fresh boots, so the report is unmoved).
+                            let worlds = if chaos_boot_faults > 0 {
+                                None
+                            } else {
+                                base_worlds.as_ref().map(|worlds| (worlds, &mut cache))
+                            };
+                            let mut cell = self.run_cell_contained(
+                                &ctx,
+                                run_uc,
                                 spec.version,
                                 spec.mode,
-                                Some(cell.phase_us),
+                                spec.trial,
+                                worlds,
+                                chaos_boot_faults,
                             );
+                            if self.config.cell_deadline.is_some_and(|d| started.elapsed() > d) {
+                                cell = self.timed_out_cell(
+                                    uc,
+                                    spec.version,
+                                    spec.mode,
+                                    Some(cell.phase_us),
+                                );
+                            }
+                            fold.fold(&spec, &cell);
+                            if let Some(s) = session {
+                                let journal_span = ctx.span("cell/journal");
+                                seq += 1;
+                                s.record_slot(
+                                    &mut pending,
+                                    worker_id,
+                                    seq,
+                                    spec.slot,
+                                    slot_digest(&cell),
+                                );
+                                batch.push(spec.slot);
+                                if batch.len() as u64 >= s.interval {
+                                    seq += 1;
+                                    s.record_fold(
+                                        &mut pending,
+                                        worker_id,
+                                        seq,
+                                        std::mem::take(&mut batch),
+                                        &fold,
+                                    );
+                                }
+                                drop(journal_span);
+                            }
+                            resident.exit();
                         }
-                        fold.fold(&spec, &cell);
-                        resident.exit();
-                    }
-                    lock_recover(&folds).push(fold);
-                });
-            }
-        });
+                        if let Some(s) = session {
+                            if !batch.is_empty() {
+                                seq += 1;
+                                s.record_fold(&mut pending, worker_id, seq, batch, &fold);
+                            }
+                        }
+                        lock_recover(folds).push(fold);
+                    });
+                }
+            });
+        }
         let merge_start = Instant::now();
         let mut parts = folds.into_inner().unwrap_or_else(PoisonError::into_inner);
+        if let Some(s) = &session {
+            parts.extend(s.recovered.iter().cloned());
+        }
         // Merge in first-slot order. All aggregates commute, so this is
         // for reproducibility of intermediate states, not correctness.
         parts.sort_by_key(|fold| fold.first_slot().unwrap_or(u64::MAX));
@@ -914,7 +1153,9 @@ impl Campaign {
         }
         let merge_us = merge_start.elapsed().as_micros() as u64;
         drop(campaign_span);
-        let (report, phases) = whole.finish();
+        let (mut report, phases) = whole.finish();
+        report.grid = self.fingerprint();
+        report.coverage = vec![shard.unwrap_or(Shard { index: 0, count: 1 })];
         let elapsed_us = (run_start.elapsed().as_micros() as u64).max(1);
         let stats = StreamRunStats {
             workers: workers as u64,
@@ -929,6 +1170,16 @@ impl Campaign {
         };
         if let Some(registry) = &self.metrics {
             obs_bridge::record_stream_metrics(&report, &phases, &stats, registry);
+            if let Some(s) = &session {
+                obs_bridge::record_checkpoint_metrics(
+                    &s.writer.counters(),
+                    s.resumed_slots(),
+                    registry,
+                );
+            }
+            if let Some(p) = &policy {
+                obs_bridge::record_chaos_metrics(p, registry);
+            }
         }
         StreamOutcome { report, stats }
     }
@@ -938,7 +1189,11 @@ impl Campaign {
     /// to boot (or panics the factory) poisons only the cells that need
     /// it — the error is cloned into each.
     fn boot_base_worlds(&self, setup_ctx: &TraceCtx, grid: &SpecGrid) -> BaseWorlds {
-        let worlds = BaseWorlds::new(Arc::clone(&self.factory), self.config.retries);
+        let worlds = BaseWorlds::new(
+            Arc::clone(&self.factory),
+            self.config.retries,
+            self.metrics.clone(),
+        );
         let mut map = lock_recover(&worlds.map);
         for &version in grid.versions() {
             for &mode in grid.modes() {
@@ -950,8 +1205,17 @@ impl Campaign {
                             ("injector".to_owned(), injector.to_string()),
                         ]
                     });
-                    let (world, attempts) =
-                        boot_world(&self.factory, version, injector, self.config.retries);
+                    let (world, attempts, backoff_us) = boot_world(
+                        &|v, i| (self.factory)(v, i),
+                        version,
+                        injector,
+                        self.config.retries,
+                    );
+                    if backoff_us > 0 {
+                        if let Some(registry) = &self.metrics {
+                            registry.add(obs_bridge::M_RETRY_BACKOFF_US, backoff_us);
+                        }
+                    }
                     if let Ok(world) = &world {
                         obs_bridge::bridge_boot_stages(
                             setup_ctx,
@@ -984,6 +1248,10 @@ impl Campaign {
     /// time. Audit events the cell generated (everything past the
     /// acquired world's baseline) are bridged into the trace before
     /// every return.
+    /// `boot_faults` > 0 (chaos only) makes the first that many factory
+    /// calls fail with a transient [`BootError`], exercising the real
+    /// retry/backoff path; the caller forces the fresh-boot arm first.
+    #[allow(clippy::too_many_arguments)]
     fn run_cell_contained(
         &self,
         ctx: &TraceCtx,
@@ -992,6 +1260,7 @@ impl Campaign {
         mode: Mode,
         trial: u64,
         worlds: Option<(&BaseWorlds, &mut BaseCache)>,
+        boot_faults: u32,
     ) -> CellResult {
         let start = Instant::now();
         let mut phases = PhaseTimings::default();
@@ -1020,16 +1289,39 @@ impl Campaign {
             drop(wait_span);
             base
         });
-        let (world, attempts) = match acquired.as_deref() {
+        let (world, attempts, backoff_us) = match acquired.as_deref() {
             Some(Ok(base)) => (
                 catch_unwind(AssertUnwindSafe(|| base.clone())).map_err(|p| {
                     CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) }
                 }),
                 1,
+                0,
             ),
-            Some(Err(e)) => (Err(e.clone()), 1),
-            None => boot_world(&self.factory, version, mode == Mode::Injection, self.config.retries),
+            Some(Err(e)) => (Err(e.clone()), 1, 0),
+            None => {
+                let remaining_faults = std::cell::Cell::new(boot_faults);
+                boot_world(
+                    &|v, i| {
+                        if remaining_faults.get() > 0 {
+                            remaining_faults.set(remaining_faults.get() - 1);
+                            return Err(BootError::transient(
+                                "chaos",
+                                "injected transient boot failure",
+                            ));
+                        }
+                        (self.factory)(v, i)
+                    },
+                    version,
+                    mode == Mode::Injection,
+                    self.config.retries,
+                )
+            }
         };
+        if backoff_us > 0 {
+            if let Some(registry) = &self.metrics {
+                registry.add(obs_bridge::M_RETRY_BACKOFF_US, backoff_us);
+            }
+        }
         phases.boot_us = Some(boot_start.elapsed().as_micros() as u64);
         ctx.point("cell/boot/result", 0, || {
             vec![
@@ -1239,11 +1531,18 @@ struct BaseWorlds {
     retries: u32,
     map: Mutex<BTreeMap<BaseKey, BaseRef>>,
     wait_us: AtomicU64,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl BaseWorlds {
-    fn new(factory: WorldFactory, retries: u32) -> Self {
-        Self { factory, retries, map: Mutex::new(BTreeMap::new()), wait_us: AtomicU64::new(0) }
+    fn new(factory: WorldFactory, retries: u32, metrics: Option<MetricsRegistry>) -> Self {
+        Self {
+            factory,
+            retries,
+            map: Mutex::new(BTreeMap::new()),
+            wait_us: AtomicU64::new(0),
+            metrics,
+        }
     }
 
     /// The handle for `key`, from the worker's cache when warm. A cold
@@ -1261,7 +1560,14 @@ impl BaseWorlds {
             self.wait_us.fetch_add(waited, Ordering::Relaxed);
         }
         let base = Arc::clone(map.entry(key).or_insert_with(|| {
-            Arc::new(boot_world(&self.factory, key.0, key.1, self.retries).0)
+            let (world, _, backoff_us) =
+                boot_world(&|v, i| (self.factory)(v, i), key.0, key.1, self.retries);
+            if backoff_us > 0 {
+                if let Some(registry) = &self.metrics {
+                    registry.add(obs_bridge::M_RETRY_BACKOFF_US, backoff_us);
+                }
+            }
+            Arc::new(world)
         }));
         drop(map);
         cache.insert(key, Arc::clone(&base));
@@ -1288,32 +1594,61 @@ enum CellSlot {
     Done(Box<CellResult>),
 }
 
+/// Hard ceiling on total backoff sleep per world boot, µs. Keeps the
+/// retry loop's worst case well under any sane cell deadline: deadlines
+/// dominate, backoff only spaces the attempts out.
+const MAX_BOOT_BACKOFF_US: u64 = 20_000;
+
+/// The backoff before retry number `attempt` of a transient boot
+/// failure: exponential from 200µs (doubling per attempt, capped at
+/// 5ms), scaled by a deterministic ±25% jitter keyed on `(key,
+/// attempt)` — seeded, not sampled, so reruns sleep the same schedule
+/// and reports stay reproducible.
+pub(crate) fn retry_backoff_us(key: &str, attempt: u32) -> u64 {
+    let base = (200u64 << attempt.min(6).saturating_sub(1)).min(5_000);
+    let salt = format!("{key}/{attempt}");
+    let jitter = 750 + splitmix64(fnv64(salt.as_bytes())) % 501;
+    base * jitter / 1000
+}
+
 /// Boots one world through the factory with panic containment and the
 /// bounded retry policy: transient failures (`BootError::is_transient`)
-/// are retried up to `retries` extra times; deterministic failures and
-/// factory panics fail immediately. Returns the attempts consumed.
+/// are retried up to `retries` extra times with deterministic
+/// exponential backoff (total sleep capped at [`MAX_BOOT_BACKOFF_US`]);
+/// deterministic failures and factory panics fail immediately. Returns
+/// the attempts consumed and the backoff slept, µs.
 fn boot_world(
-    factory: &WorldFactory,
+    factory: &dyn Fn(XenVersion, bool) -> Result<World, BootError>,
     version: XenVersion,
     injector: bool,
     retries: u32,
-) -> (Result<World, CampaignError>, u32) {
+) -> (Result<World, CampaignError>, u32, u64) {
     let mut attempts = 0u32;
+    let mut backoff_us = 0u64;
     loop {
         attempts += 1;
         match catch_unwind(AssertUnwindSafe(|| factory(version, injector))) {
-            Ok(Ok(world)) => return (Ok(world), attempts),
-            Ok(Err(boot)) if boot.is_transient() && attempts <= retries => {}
+            Ok(Ok(world)) => return (Ok(world), attempts, backoff_us),
+            Ok(Err(boot)) if boot.is_transient() && attempts <= retries => {
+                let sleep = retry_backoff_us(&format!("{version}/{injector}"), attempts)
+                    .min(MAX_BOOT_BACKOFF_US.saturating_sub(backoff_us));
+                if sleep > 0 {
+                    std::thread::sleep(Duration::from_micros(sleep));
+                    backoff_us += sleep;
+                }
+            }
             Ok(Err(boot)) => {
                 return (
                     Err(CampaignError::Boot { message: boot.to_string(), attempts }),
                     attempts,
+                    backoff_us,
                 )
             }
             Err(p) => {
                 return (
                     Err(CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) }),
                     attempts,
+                    backoff_us,
                 )
             }
         }

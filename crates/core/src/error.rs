@@ -85,6 +85,61 @@ impl fmt::Display for CampaignError {
 
 impl Error for CampaignError {}
 
+/// Why a checkpoint journal could not be written, read, or applied.
+///
+/// Torn *tails* are not errors — recovery truncates to the last valid
+/// record by design (that is the crash model). This taxonomy covers the
+/// cases where the journal as a whole cannot be trusted or used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The journal file could not be created, read, written, or synced.
+    Io {
+        /// Journal path.
+        path: String,
+        /// Underlying I/O failure.
+        message: String,
+    },
+    /// The journal's leading header record is missing or unreadable —
+    /// this file was never a checkpoint journal (or lost its first
+    /// record, which fsync ordering makes impossible short of media
+    /// corruption).
+    Header {
+        /// Journal path.
+        path: String,
+        /// What was wrong with the header.
+        message: String,
+    },
+    /// The journal was written by a campaign with a different grid
+    /// (use cases, versions, modes, trials, or shard): resuming would
+    /// silently mis-attribute slots, so it fails loudly instead.
+    GridMismatch {
+        /// Fingerprint recorded in the journal.
+        journal: String,
+        /// Fingerprint of the campaign attempting to resume.
+        campaign: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint journal {path}: {message}")
+            }
+            CheckpointError::Header { path, message } => {
+                write!(f, "{path} is not a checkpoint journal: {message}")
+            }
+            CheckpointError::GridMismatch { journal, campaign } => write!(
+                f,
+                "checkpoint journal was written by a different campaign grid \
+                 (journal {journal}, campaign {campaign})"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
 /// Identity of one campaign cell, carried inside [`CellOutcome`] so a
 /// crash record is self-describing even outside its report row.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -78,6 +78,8 @@
 pub mod avi;
 pub mod benchmark;
 pub mod campaign;
+pub mod chaos;
+pub mod checkpoint;
 pub mod erroneous_state;
 pub mod error;
 pub mod injector;
@@ -96,7 +98,9 @@ pub use campaign::{
     default_jobs, Campaign, CampaignConfig, CampaignReport, CampaignThroughput, CellResult,
     LatencyBreakdown, PhaseLatency, PhaseTimings, WorldFactory,
 };
-pub use error::{panic_payload, CampaignError, CellId, CellOutcome};
+pub use chaos::{ChaosConfig, ChaosPolicy};
+pub use checkpoint::{read_header, FileSink, JournalHeader, JournalSink};
+pub use error::{panic_payload, CampaignError, CellId, CellOutcome, CheckpointError};
 pub use erroneous_state::{ErroneousStateSpec, StateAudit};
 pub use injector::{ArbitraryAccessInjector, DebugStubInjector, InjectError, InjectionEvidence, Injector};
 pub use model::{AttackInterface, IntrusionModel, StateTrace, TargetComponent, TriggeringSource};
@@ -105,7 +109,7 @@ pub use randomized::{RandomizedCampaign, RandomizedOutcome, RandomizedSummary, T
 pub use report::{canonical_hypercall_total, TextTable};
 pub use scenario::{Mode, ScenarioOutcome, UseCase};
 pub use stream::{
-    CellSpec, DegradedSlot, KeySummary, Shard, SpecGrid, StreamBench, StreamOutcome, StreamReport,
-    StreamRunStats,
+    CellSpec, DegradedSlot, GridFingerprint, KeySummary, MergeError, Shard, ShardError, SpecGrid,
+    StreamBench, StreamOutcome, StreamReport, StreamRunStats,
 };
 pub use taxonomy::{AbusiveFunctionality, FunctionalityClass};

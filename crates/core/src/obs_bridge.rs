@@ -52,6 +52,32 @@ pub const M_PEAK_RESIDENT: &str = "campaign.stream.peak_resident_cells";
 /// Counter (streaming only): cold-miss wait on the shared base-world
 /// map, µs.
 pub const M_BASE_WORLD_WAIT_US: &str = "campaign.stream.base_world_wait_us";
+/// Counter: total backoff slept between transient boot retries, µs.
+pub const M_RETRY_BACKOFF_US: &str = "boot.retry_backoff_us";
+/// Counter (checkpointing only): slot records journaled.
+pub const M_CKPT_SLOTS: &str = "campaign.checkpoint.slots";
+/// Counter (checkpointing only): durable fold records journaled.
+pub const M_CKPT_FOLDS: &str = "campaign.checkpoint.folds";
+/// Counter (checkpointing only): fsyncs issued on the journal.
+pub const M_CKPT_SYNCS: &str = "campaign.checkpoint.syncs";
+/// Counter (checkpointing only): bytes appended to the journal.
+pub const M_CKPT_BYTES: &str = "campaign.checkpoint.bytes";
+/// Counter (checkpointing only): journal write errors (fail-soft — the
+/// run continues unjournaled after the first).
+pub const M_CKPT_WRITE_ERRORS: &str = "campaign.checkpoint.write_errors";
+/// Counter (resume only): slots skipped because a durable fold record
+/// already covered them.
+pub const M_CKPT_RESUMED_SLOTS: &str = "campaign.checkpoint.resumed_slots";
+/// Counter (chaos only): worker panics injected.
+pub const M_CHAOS_PANICS: &str = "campaign.chaos.worker_panics";
+/// Counter (chaos only): transient boot failures injected.
+pub const M_CHAOS_BOOTS: &str = "campaign.chaos.transient_boots";
+/// Counter (chaos only): cell slowdowns injected.
+pub const M_CHAOS_SLOWDOWNS: &str = "campaign.chaos.slowdowns";
+/// Counter (chaos only): queue stalls injected.
+pub const M_CHAOS_STALLS: &str = "campaign.chaos.queue_stalls";
+/// Counter (chaos only): journal records torn mid-write.
+pub const M_CHAOS_TORN: &str = "campaign.chaos.torn_writes";
 
 /// Re-emits hypervisor audit events as trace points under
 /// `audit/<kind>`, one per event, with the human-readable rendering in
@@ -174,6 +200,33 @@ pub(crate) fn record_stream_metrics(
     registry.add(M_MERGE_US, stats.merge_us);
     registry.add(M_PEAK_RESIDENT, stats.peak_resident_cells);
     registry.add(M_BASE_WORLD_WAIT_US, stats.base_world_wait_us);
+}
+
+/// Folds a finished checkpoint session into the registry. Counter
+/// values are wall-clock-free but schedule-*shaped* (batch boundaries
+/// move with worker interleaving), so they live outside determinism
+/// diffs like the `campaign.stream.*` family.
+pub(crate) fn record_checkpoint_metrics(
+    counters: &crate::checkpoint::CheckpointCounters,
+    resumed_slots: u64,
+    registry: &MetricsRegistry,
+) {
+    registry.add(M_CKPT_SLOTS, counters.slots);
+    registry.add(M_CKPT_FOLDS, counters.folds);
+    registry.add(M_CKPT_SYNCS, counters.syncs);
+    registry.add(M_CKPT_BYTES, counters.bytes);
+    registry.add(M_CKPT_WRITE_ERRORS, counters.write_errors);
+    registry.add(M_CKPT_RESUMED_SLOTS, resumed_slots);
+}
+
+/// Folds a finished run's chaos-fault tallies into the registry.
+pub(crate) fn record_chaos_metrics(policy: &crate::chaos::ChaosPolicy, registry: &MetricsRegistry) {
+    let (panics, boots, slowdowns, stalls, torn) = policy.fired();
+    registry.add(M_CHAOS_PANICS, panics);
+    registry.add(M_CHAOS_BOOTS, boots);
+    registry.add(M_CHAOS_SLOWDOWNS, slowdowns);
+    registry.add(M_CHAOS_STALLS, stalls);
+    registry.add(M_CHAOS_TORN, torn);
 }
 
 /// Builds one phase histogram summary directly from report cells — the

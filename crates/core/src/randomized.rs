@@ -373,17 +373,28 @@ impl RandomizedCampaign {
     }
 
     /// Boots the shared base world with panic containment and the
-    /// transient-failure retry budget.
+    /// transient-failure retry budget, sleeping the same deterministic
+    /// exponential backoff the grid campaign uses between attempts
+    /// (jitter keyed on the campaign seed).
     fn boot_base(
         &self,
         factory: &(impl Fn() -> Result<(World, DomainId), BootError> + Send + Sync),
     ) -> Result<(World, DomainId), CampaignError> {
         let mut attempts = 0u32;
+        let mut backoff_us = 0u64;
         loop {
             attempts += 1;
             match catch_unwind(AssertUnwindSafe(factory)) {
                 Ok(Ok(base)) => return Ok(base),
-                Ok(Err(boot)) if boot.is_transient() && attempts <= self.retries => {}
+                Ok(Err(boot)) if boot.is_transient() && attempts <= self.retries => {
+                    let sleep =
+                        crate::campaign::retry_backoff_us(&format!("randomized/{}", self.seed), attempts)
+                            .min(20_000u64.saturating_sub(backoff_us));
+                    if sleep > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(sleep));
+                        backoff_us += sleep;
+                    }
+                }
                 Ok(Err(boot)) => {
                     return Err(CampaignError::Boot { message: boot.to_string(), attempts })
                 }

@@ -109,6 +109,11 @@ impl SpecGrid {
         &self.modes
     }
 
+    /// The trials axis (always ≥ 1).
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
     /// Decodes a slot index back into its grid coordinates.
     pub fn decode(&self, slot: u64) -> Option<CellSpec> {
         if slot >= self.len() {
@@ -184,18 +189,66 @@ pub struct Shard {
     pub count: u64,
 }
 
+/// Why a shard assignment could not be built or parsed. A CLI usage
+/// error (exit code 2), never a campaign failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// `count == 0`: zero shards cannot partition anything.
+    ZeroCount,
+    /// `index >= count`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// The shard count it must stay below.
+        count: u64,
+    },
+    /// The CLI text is not of the `i/n` form.
+    Malformed {
+        /// The text as given.
+        text: String,
+    },
+    /// The index half of `i/n` is not a number.
+    BadIndex {
+        /// The index text as given.
+        text: String,
+    },
+    /// The count half of `i/n` is not a number.
+    BadCount {
+        /// The count text as given.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroCount => f.write_str("shard count must be at least 1"),
+            ShardError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range for {count} shards")
+            }
+            ShardError::Malformed { text } => {
+                write!(f, "'{text}' is not of the form i/n (e.g. 0/2)")
+            }
+            ShardError::BadIndex { text } => write!(f, "bad shard index '{text}'"),
+            ShardError::BadCount { text } => write!(f, "bad shard count '{text}'"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
 impl Shard {
     /// Validates and builds a shard assignment.
     ///
     /// # Errors
     ///
-    /// A human-readable message when `count == 0` or `index >= count`.
-    pub fn new(index: u64, count: u64) -> Result<Self, String> {
+    /// [`ShardError`] when `count == 0` or `index >= count`.
+    pub fn new(index: u64, count: u64) -> Result<Self, ShardError> {
         if count == 0 {
-            return Err("shard count must be at least 1".to_owned());
+            return Err(ShardError::ZeroCount);
         }
         if index >= count {
-            return Err(format!("shard index {index} out of range for {count} shards"));
+            return Err(ShardError::IndexOutOfRange { index, count });
         }
         Ok(Self { index, count })
     }
@@ -204,15 +257,19 @@ impl Shard {
     ///
     /// # Errors
     ///
-    /// A human-readable message on malformed input.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    /// [`ShardError`] on malformed input.
+    pub fn parse(text: &str) -> Result<Self, ShardError> {
         let (index, count) = text
             .split_once('/')
-            .ok_or_else(|| format!("'{text}' is not of the form i/n (e.g. 0/2)"))?;
-        let index: u64 =
-            index.trim().parse().map_err(|_| format!("bad shard index '{index}'"))?;
-        let count: u64 =
-            count.trim().parse().map_err(|_| format!("bad shard count '{count}'"))?;
+            .ok_or_else(|| ShardError::Malformed { text: text.to_owned() })?;
+        let index: u64 = index
+            .trim()
+            .parse()
+            .map_err(|_| ShardError::BadIndex { text: index.to_owned() })?;
+        let count: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| ShardError::BadCount { text: count.to_owned() })?;
         Self::new(index, count)
     }
 }
@@ -393,6 +450,130 @@ pub struct DegradedSlot {
     pub error: Option<CampaignError>,
 }
 
+/// Identity of the campaign grid a [`StreamReport`] was produced from:
+/// enough to refuse merging reports of *different* campaigns (a silent
+/// double-count is worse than a loud error) and to refuse resuming a
+/// checkpoint journal against the wrong campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridFingerprint {
+    /// Use-case names, in grid order.
+    pub use_cases: Vec<String>,
+    /// Versions axis, in grid order.
+    pub versions: Vec<XenVersion>,
+    /// Modes axis, in grid order.
+    pub modes: Vec<Mode>,
+    /// Trials axis (≥ 1 for any real grid).
+    pub trials: u64,
+}
+
+impl GridFingerprint {
+    /// `true` for the fingerprint of a never-run (default) report.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Total number of cells in the fingerprinted grid.
+    pub fn len(&self) -> u64 {
+        self.use_cases.len() as u64
+            * self.versions.len() as u64
+            * self.modes.len() as u64
+            * self.trials.max(1)
+    }
+}
+
+impl std::fmt::Display for GridFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] x {} version(s) x {} mode(s) x {} trial(s)",
+            self.use_cases.join(", "),
+            self.versions.len(),
+            self.modes.len(),
+            self.trials.max(1),
+        )
+    }
+}
+
+/// Why two [`StreamReport`]s refused to merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The reports were produced from different campaign grids; their
+    /// aggregates are not comparable, let alone summable.
+    GridMismatch {
+        /// Left fingerprint, rendered.
+        left: String,
+        /// Right fingerprint, rendered.
+        right: String,
+    },
+    /// Two shards cover at least one common slot — merging would
+    /// double-count every shared cell.
+    Overlap {
+        /// A covered shard of the left report.
+        left: Shard,
+        /// An overlapping covered shard of the right report.
+        right: Shard,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::GridMismatch { left, right } => {
+                write!(f, "reports come from different campaign grids: {left} vs {right}")
+            }
+            MergeError::Overlap { left, right } => write!(
+                f,
+                "shards {left} and {right} overlap; merging would double-count shared slots"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// `true` when the two congruence classes `index mod count` share a
+/// slot: by CRT, exactly when the indices agree modulo the gcd of the
+/// counts. (Grid length is ignored — for tiny grids this is stricter
+/// than necessary, which errs on the loud side.)
+fn shards_overlap(a: Shard, b: Shard) -> bool {
+    let g = gcd(a.count, b.count);
+    a.index % g == b.index % g
+}
+
+/// Canonicalizes a disjoint shard union: if the classes cover every
+/// residue modulo the lcm of their counts, the union *is* the whole
+/// grid and collapses to `[0/1]`; otherwise the list is sorted and
+/// deduplicated. Canonical form is what keeps a full run and the merge
+/// of its shards byte-identical.
+fn canonical_coverage(mut shards: Vec<Shard>) -> Vec<Shard> {
+    shards.sort_by_key(|s| (s.count, s.index));
+    shards.dedup();
+    if shards.is_empty() {
+        return shards;
+    }
+    let mut lcm = 1u64;
+    for s in &shards {
+        match (lcm / gcd(lcm, s.count)).checked_mul(s.count) {
+            Some(l) if l <= 1 << 20 => lcm = l,
+            // Pathological counts: skip the collapse, keep the list.
+            _ => return shards,
+        }
+    }
+    let covered = (0..lcm).all(|r| shards.iter().any(|s| r % s.count == s.index));
+    if covered {
+        vec![Shard { index: 0, count: 1 }]
+    } else {
+        shards
+    }
+}
+
 /// A complete, merge-associative streaming campaign report.
 ///
 /// Every field is a sum, an exact histogram merge, or a union of maps
@@ -441,6 +622,12 @@ pub struct StreamReport {
     pub by_key: BTreeMap<String, KeySummary>,
     /// Every degraded cell, keyed by global slot index.
     pub degraded_slots: BTreeMap<u64, DegradedSlot>,
+    /// Which campaign grid produced this report (empty for a
+    /// never-run default report).
+    pub grid: GridFingerprint,
+    /// Which shards of the grid this report covers, in canonical form:
+    /// a full run (or a merge that reassembled one) is `[0/1]`.
+    pub coverage: Vec<Shard>,
 }
 
 impl StreamReport {
@@ -513,7 +700,44 @@ impl StreamReport {
             },
             by_key,
             degraded_slots,
+            grid: if self.grid.is_empty() { other.grid.clone() } else { self.grid.clone() },
+            coverage: canonical_coverage(
+                self.coverage.iter().chain(&other.coverage).copied().collect(),
+            ),
         }
+    }
+
+    /// [`StreamReport::merge`], but refusing to merge reports that
+    /// cannot legitimately be summed: different campaign grids, or
+    /// shards that cover a common slot (which would silently
+    /// double-count every shared cell). A default (never-run) report is
+    /// the merge identity and is always accepted, so folds can start
+    /// from `StreamReport::default()`.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] on a grid mismatch or shard overlap.
+    pub fn try_merge(&self, other: &Self) -> Result<Self, MergeError> {
+        if self.cells == 0 && self.grid.is_empty() && self.coverage.is_empty() {
+            return Ok(other.clone());
+        }
+        if other.cells == 0 && other.grid.is_empty() && other.coverage.is_empty() {
+            return Ok(self.clone());
+        }
+        if self.grid != other.grid {
+            return Err(MergeError::GridMismatch {
+                left: self.grid.to_string(),
+                right: other.grid.to_string(),
+            });
+        }
+        for &a in &self.coverage {
+            for &b in &other.coverage {
+                if shards_overlap(a, b) {
+                    return Err(MergeError::Overlap { left: a, right: b });
+                }
+            }
+        }
+        Ok(self.merge(other))
     }
 
     /// `true` when any cell degraded — CLI exit code 2.
@@ -665,7 +889,11 @@ impl StreamOutcome {
 /// Per-worker raw fold state: full histograms (not summaries) so the
 /// final merge is exact, plus the worker's first slot so partial folds
 /// merge in a deterministic order.
-#[derive(Default)]
+///
+/// Serializable because checkpointing persists each worker's cumulative
+/// fold — the round trip is lossless, so a resumed campaign folds the
+/// recovered state exactly as if the cells had just run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub(crate) struct PartialFold {
     first_slot: Option<u64>,
     report: StreamReport,
@@ -674,7 +902,7 @@ pub(crate) struct PartialFold {
 
 /// The six per-phase histograms (completed/degraded × boot/inject/
 /// monitor) accumulated in full resolution during a streaming run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub(crate) struct PhaseHistograms {
     pub(crate) boot_completed: Histogram,
     pub(crate) boot_degraded: Histogram,

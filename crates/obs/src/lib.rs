@@ -54,7 +54,7 @@ pub mod metrics;
 pub mod summary;
 pub mod trace;
 
-pub use jsonl::{normalized_jsonl, parse_jsonl, parse_line, to_jsonl, ParseError};
+pub use jsonl::{encode_event, normalized_jsonl, parse_jsonl, parse_line, to_jsonl, ParseError};
 pub use metrics::{
     CounterSnapshot, Histogram, HistogramSnapshot, HistogramSummary, MetricsRegistry,
     MetricsSnapshot,

@@ -24,7 +24,11 @@ fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 const BUCKETS: usize = 40;
 
 /// A fixed-bucket latency histogram over microsecond values.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Serializable so streaming checkpoints can persist in-flight
+/// per-worker histograms and resume them exactly (bucket counts are
+/// positional, so a round trip is lossless).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: [u64; BUCKETS],
     count: u64,
