@@ -5,7 +5,9 @@
 //! journal writes included.
 
 use bench::synthetic_campaign;
-use intrusion_core::{Campaign, ChaosConfig, ChaosPolicy};
+use hvsim_obs::{flight, MetricsRegistry};
+use intrusion_core::{Campaign, ChaosConfig, ChaosPolicy, StreamReport};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 const SEED: u64 = 0xD5_2023;
@@ -64,6 +66,67 @@ fn chaos_is_schedule_independent_and_every_fault_is_typed() {
                 || matches!(slot.outcome, intrusion_core::CellOutcome::TimedOut { .. }),
             "degraded slot {id} carries a typed error or outcome: {slot:?}"
         );
+        // Every degraded cell carries its flight-recorder forensic tail.
+        assert!(!slot.flight.is_empty(), "degraded slot {id} has no forensic tail");
+    }
+
+    // The tails themselves are schedule-independent: normalized
+    // (wall-clock zeroed) flight dumps are byte-identical per slot at
+    // jobs=1 and jobs=8.
+    let dumps = |report: &StreamReport| -> BTreeMap<u64, String> {
+        report
+            .degraded_slots
+            .iter()
+            .map(|(&slot, d)| (slot, flight::normalized_dump_jsonl(&d.flight)))
+            .collect()
+    };
+    assert_eq!(
+        dumps(&jobs1.report),
+        dumps(&jobs8.report),
+        "normalized flight dumps must be byte-identical at jobs=1 and jobs=8"
+    );
+}
+
+#[test]
+fn chaos_counters_are_published_even_when_no_fault_fires() {
+    // Pick a seed whose standard policy draws no fault on any of the
+    // six slots of this small grid: "chaos quiet" must still publish
+    // every `campaign.chaos.*` counter as an explicit zero, so a
+    // dashboard can tell it apart from "chaos off" (counters absent).
+    let cells = 6u64;
+    let quiet_seed = (0..10_000u64)
+        .find(|&seed| {
+            let probe = ChaosPolicy::new(ChaosConfig::standard(seed));
+            (0..cells).all(|slot| {
+                probe.transient_boot_faults(slot, 1) == 0
+                    && !probe.worker_panic(slot)
+                    && probe.slowdown(slot, Some(DEADLINE)).is_none()
+                    && probe.queue_stall(slot).is_none()
+            })
+        })
+        .expect("some seed in 0..10_000 is quiet over six slots");
+    let registry = MetricsRegistry::new();
+    let outcome = synthetic_campaign(SEED, 2)
+        .chaos(ChaosConfig::standard(quiet_seed))
+        .cell_deadline(DEADLINE)
+        .metrics(registry.clone())
+        .run_streaming_with_jobs(2);
+    assert_eq!(outcome.report.cells, cells);
+    assert_eq!(outcome.report.degraded, 0, "seed {quiet_seed} fired a fault after all");
+    let snapshot = registry.snapshot();
+    for name in [
+        "campaign.chaos.worker_panics",
+        "campaign.chaos.transient_boots",
+        "campaign.chaos.slowdowns",
+        "campaign.chaos.queue_stalls",
+        "campaign.chaos.torn_writes",
+    ] {
+        let counter = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{name} must be published on a quiet chaos run"));
+        assert_eq!(counter.value, 0, "{name} must be an explicit zero");
     }
 }
 

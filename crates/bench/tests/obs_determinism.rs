@@ -8,7 +8,9 @@
 use guestos::{BootError, World};
 use hvsim::XenVersion;
 use hvsim_mem::DomainId;
-use hvsim_obs::{normalized_jsonl, parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer};
+use hvsim_obs::{
+    flight, normalized_jsonl, parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer,
+};
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
     AbusiveFunctionality, Campaign, CampaignReport, CampaignThroughput, CellOutcome, Injector,
@@ -209,6 +211,40 @@ fn degraded_cells_carry_phase_timings() {
     assert_eq!(throughput.latency.monitor.degraded.count, 1);
     assert_eq!(throughput.latency.boot.completed.count, 16);
     assert!(throughput.latency.inject.degraded.max_us >= 300_000);
+}
+
+#[test]
+fn flight_dumps_are_schedule_independent() {
+    let serial = messy_campaign().run_with_jobs(1);
+    let parallel = messy_campaign().run_with_jobs(8);
+    // Key dumps by cell identity (slots are equal across runs, but the
+    // identity makes failures readable).
+    let dumps = |report: &CampaignReport| -> Vec<(String, String)> {
+        report
+            .cells()
+            .iter()
+            .filter(|c| c.degraded())
+            .map(|c| {
+                (
+                    format!("{}/{}/{}", c.use_case, c.version, c.mode),
+                    flight::normalized_dump_jsonl(&c.flight),
+                )
+            })
+            .collect()
+    };
+    let serial_dumps = dumps(&serial);
+    assert!(!serial_dumps.is_empty(), "the messy campaign degrades cells");
+    for (id, dump) in &serial_dumps {
+        assert!(!dump.is_empty(), "degraded cell {id} has no forensic tail");
+        // Dumps are themselves schema-valid trace JSONL, so every trace
+        // tool (validate, summary) works on them.
+        parse_jsonl(dump).unwrap_or_else(|e| panic!("dump for {id} is not trace JSONL: {e}"));
+    }
+    assert_eq!(
+        serial_dumps,
+        dumps(&parallel),
+        "normalized flight dumps must be byte-identical at jobs=1 and jobs=8"
+    );
 }
 
 #[test]

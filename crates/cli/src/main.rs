@@ -4,12 +4,14 @@
 //! ```text
 //! intrusion-injector campaign [--extensions] [--json] [--jobs 4] [--trace-out t.jsonl]
 //! intrusion-injector campaign --stream --checkpoint c.journal [--chaos-seed 7]
+//! intrusion-injector campaign --progress --flight-out dumps/ --timeline-out tl.jsonl
 //! intrusion-injector campaign resume c.journal
 //! intrusion-injector run --use-case XSA-182-test --version 4.13 --mode injection
 //! intrusion-injector randomized --region idt --trials 24 --seed 7 --version 4.8
 //! intrusion-injector benchmark [--jobs 4]
 //! intrusion-injector trace summary t.jsonl --top 10
 //! intrusion-injector trace validate t.jsonl
+//! intrusion-injector report diff before.json after.json
 //! intrusion-injector taxonomy
 //! intrusion-injector models
 //! intrusion-injector help
@@ -18,7 +20,10 @@
 mod args;
 
 use args::{ArgError, Parsed};
-use hvsim_obs::{parse_jsonl, to_jsonl, MetricsRegistry, TraceSummary, Tracer};
+use hvsim_obs::{
+    flight, parse_jsonl, parse_line, to_jsonl, FlightEvent, MetricsRegistry, MetricsTimeline,
+    ParseError, TraceSummary, Tracer,
+};
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
     read_header, ArbitraryAccessInjector, Campaign, CampaignReport, ChaosConfig, Mode,
@@ -26,7 +31,9 @@ use intrusion_core::{
     UseCase,
 };
 use hvsim::XenVersion;
-use std::path::Path;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 use xsa_exploits::{extension_use_cases, paper_use_cases};
@@ -72,12 +79,28 @@ COMMANDS:
                                    queue stalls, torn journal writes (implies
                                    --stream; same seed => same faults at any
                                    --jobs count)
+                   [--progress]    live progress line on stderr (done/total,
+                                   cells/s, ETA, degraded count)
+                   [--flight-out <dir>]    write the flight-recorder forensic
+                                   tail of every degraded cell as
+                                   <dir>/slot-<n>.jsonl (plus
+                                   stall-worker-<n>.jsonl for wedged workers);
+                                   dumps are trace-schema JSONL
+                   [--flight-capacity <n>]  per-worker flight-recorder ring
+                                   size (default 256; 0 disables the recorder)
+                   [--timeline-out <file>]  write the sampled metrics timeline
+                                   (counters + gauges per tick) as JSONL
+                   [--metrics-interval-ms <n>]  telemetry sampling interval
+                                   (default 200 when a telemetry output is on)
                  resume <file>   resume a checkpointed campaign from its
                                    journal; grid shape, trials and shard are
                                    restored from the journal header
     report       operate on streamed campaign reports
                    merge <out> <in>...   merge shard reports written by
                                          'campaign --stream --report-out'
+                   diff <a> <b>          compare two JSON reports or metrics
+                                         snapshots leaf-by-leaf; exit 0 when
+                                         identical, 1 when they differ
     run          run one use case once
                    --use-case <name>      e.g. XSA-212-crash (see 'models')
                    [--version <v>]        4.6 | 4.8 | 4.13   (default 4.6)
@@ -99,7 +122,9 @@ COMMANDS:
     trace        inspect a JSONL trace written by --trace-out
                    summary <file>   per-phase self-time profile + slowest cells
                                     [--top <n>]  slowest cells to list (default 10)
-                   validate <file>  check every line against the event schema
+                   validate <file>  check every line against the event schema;
+                                    reports every malformed line with its line
+                                    number and exits nonzero
     taxonomy     print the abusive-functionality study (Table I)
     models       list the available use cases and their intrusion models
     help         this text
@@ -239,26 +264,54 @@ fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, St
             raw.parse().map_err(|_| "--chaos-seed must be a number".to_owned())?;
         campaign = campaign.chaos(ChaosConfig::standard(seed));
     }
+    if let Some(raw) = p.options.get("flight-capacity") {
+        let capacity: usize =
+            raw.parse().map_err(|_| "--flight-capacity must be a number".to_owned())?;
+        campaign = campaign.flight_capacity(capacity);
+    }
+    if let Some(dir) = p.options.get("flight-out") {
+        campaign = campaign.flight_out(PathBuf::from(dir));
+    }
+    if let Some(raw) = p.options.get("metrics-interval-ms") {
+        let ms: u64 = raw
+            .parse()
+            .ok()
+            .filter(|&ms| ms > 0)
+            .ok_or("--metrics-interval-ms must be a positive number".to_owned())?;
+        campaign = campaign.metrics_interval(Duration::from_millis(ms));
+    }
+    if p.has_flag("progress") {
+        campaign = campaign.progress(true);
+    }
     Ok(campaign)
 }
 
 /// The observability hooks a campaign command may attach via
-/// `--trace-out` / `--metrics-out`. The tracer stays disabled (a no-op)
-/// unless a trace file was requested.
+/// `--trace-out` / `--metrics-out` / `--timeline-out`. The tracer stays
+/// disabled (a no-op) unless a trace file was requested; the timeline is
+/// only sampled when a telemetry output asked for it.
 struct ObsHooks {
     tracer: Tracer,
     registry: MetricsRegistry,
+    timeline: Option<MetricsTimeline>,
 }
 
 fn attach_obs(campaign: Campaign, p: &Parsed) -> (Campaign, ObsHooks) {
     let tracer =
         if p.options.contains_key("trace-out") { Tracer::enabled() } else { Tracer::disabled() };
     let registry = MetricsRegistry::new();
-    let campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
-    (campaign, ObsHooks { tracer, registry })
+    let mut campaign = campaign.tracer(tracer.clone()).metrics(registry.clone());
+    let timeline = (p.options.contains_key("timeline-out")
+        || p.options.contains_key("metrics-interval-ms"))
+    .then(MetricsTimeline::new);
+    if let Some(timeline) = &timeline {
+        campaign = campaign.timeline(timeline.clone());
+    }
+    (campaign, ObsHooks { tracer, registry, timeline })
 }
 
-/// Writes the requested trace / metrics files after a campaign ran.
+/// Writes the requested trace / metrics / timeline files after a
+/// campaign ran.
 fn write_obs_outputs(p: &Parsed, hooks: &ObsHooks) -> Result<(), String> {
     if let Some(path) = p.options.get("trace-out") {
         let events = hooks.tracer.drain();
@@ -272,6 +325,40 @@ fn write_obs_outputs(p: &Parsed, hooks: &ObsHooks) -> Result<(), String> {
         std::fs::write(path, snapshot).map_err(|e| format!("could not write {path}: {e}"))?;
         eprintln!("wrote metrics snapshot to {path}");
     }
+    if let Some(path) = p.options.get("timeline-out") {
+        if let Some(timeline) = &hooks.timeline {
+            std::fs::write(path, timeline.to_jsonl())
+                .map_err(|e| format!("could not write {path}: {e}"))?;
+            eprintln!("wrote {} timeline samples to {path}", timeline.len());
+        }
+    }
+    Ok(())
+}
+
+/// Writes one `slot-<n>.jsonl` forensic dump per degraded cell into the
+/// `--flight-out` directory (stall dumps land there too, written live by
+/// the telemetry supervisor as `stall-worker-<n>.jsonl`).
+fn write_flight_dumps<'a>(
+    p: &Parsed,
+    tails: impl Iterator<Item = (u64, &'a [FlightEvent])>,
+) -> Result<(), String> {
+    let Some(dir) = p.options.get("flight-out") else {
+        return Ok(());
+    };
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("could not create {}: {e}", dir.display()))?;
+    let mut written = 0usize;
+    for (slot, tail) in tails {
+        if tail.is_empty() {
+            continue;
+        }
+        let path = dir.join(format!("slot-{slot}.jsonl"));
+        std::fs::write(&path, flight::dump_jsonl(tail))
+            .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+        written += 1;
+    }
+    eprintln!("wrote {written} flight dump(s) to {}", dir.display());
     Ok(())
 }
 
@@ -341,6 +428,14 @@ fn cmd_campaign(p: &Parsed) -> Result<CliOutcome, String> {
             campaign.run_streaming()
         };
         write_obs_outputs(p, &hooks)?;
+        write_flight_dumps(
+            p,
+            outcome
+                .report
+                .degraded_slots
+                .iter()
+                .map(|(&slot, degraded)| (slot, degraded.flight.as_slice())),
+        )?;
         if let Some(path) = p.options.get("report-out") {
             let json = outcome.report.normalized().to_json().map_err(|e| e.to_string())?;
             std::fs::write(path, json).map_err(|e| format!("could not write {path}: {e}"))?;
@@ -372,6 +467,15 @@ fn cmd_campaign(p: &Parsed) -> Result<CliOutcome, String> {
     eprintln!("running the campaign ...");
     let report = campaign.run();
     write_obs_outputs(p, &hooks)?;
+    // A classic cell does not carry its slot, but every event in its
+    // forensic tail does.
+    write_flight_dumps(
+        p,
+        report
+            .cells()
+            .iter()
+            .filter_map(|cell| Some((cell.flight.first()?.slot, cell.flight.as_slice()))),
+    )?;
     let outcome = CliOutcome::for_report(&report);
     if p.has_flag("json") {
         println!("{}", report.to_json().map_err(|e| e.to_string())?);
@@ -509,9 +613,32 @@ fn cmd_trace(p: &Parsed) -> Result<CliOutcome, String> {
         std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
     match action.as_str() {
         "validate" => {
-            let events = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
-            println!("{path}: {} events, every line schema-valid", events.len());
-            Ok(CliOutcome::Clean)
+            // Validate every line, not just up to the first error: a
+            // corrupted trace usually has several bad lines and fixing
+            // them one resubmission at a time is miserable.
+            let mut events = 0usize;
+            let mut errors: Vec<ParseError> = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_line(line) {
+                    Ok(_) => events += 1,
+                    Err(e) => errors.push(ParseError { line: i + 1, ..e }),
+                }
+            }
+            if errors.is_empty() {
+                println!("{path}: {events} events, every line schema-valid");
+                return Ok(CliOutcome::Clean);
+            }
+            for e in &errors {
+                eprintln!("{path}:{}: {}", e.line, e.message);
+            }
+            Err(format!(
+                "{path}: {} invalid line(s) out of {}",
+                errors.len(),
+                errors.len() + events
+            ))
         }
         "summary" => {
             let top: usize =
@@ -529,11 +656,18 @@ fn cmd_trace(p: &Parsed) -> Result<CliOutcome, String> {
 /// unsharded report byte-for-byte; merging raw reports sums the raw
 /// wall-clock aggregates instead.
 fn cmd_report(p: &Parsed) -> Result<CliOutcome, String> {
-    let action =
-        p.positionals.first().ok_or("report needs an action: report merge <out> <in>...")?;
-    if action != "merge" {
-        return Err(format!("unknown report action '{action}' (expected merge)"));
+    let action = p
+        .positionals
+        .first()
+        .ok_or("report needs an action: report merge <out> <in>... | report diff <a> <b>")?;
+    match action.as_str() {
+        "merge" => cmd_report_merge(p),
+        "diff" => cmd_report_diff(p),
+        other => Err(format!("unknown report action '{other}' (expected merge|diff)")),
     }
+}
+
+fn cmd_report_merge(p: &Parsed) -> Result<CliOutcome, String> {
     let out = p.positionals.get(1).ok_or("report merge needs an output path")?;
     let inputs = &p.positionals[2..];
     if inputs.is_empty() {
@@ -552,6 +686,112 @@ fn cmd_report(p: &Parsed) -> Result<CliOutcome, String> {
     std::fs::write(out, json).map_err(|e| format!("could not write {out}: {e}"))?;
     eprintln!("merged {} report(s) into {out} ({} cells)", inputs.len(), merged.cells);
     Ok(CliOutcome::Clean)
+}
+
+/// Flattens a JSON document into dotted-path leaves (`a.b[2].c`), the
+/// unit `report diff` compares.
+fn flatten_json(prefix: &str, v: &Value, out: &mut BTreeMap<String, Value>) {
+    match v {
+        Value::Map(entries) => {
+            for (key, value) in entries {
+                let path =
+                    if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                flatten_json(&path, value, out);
+            }
+        }
+        Value::Seq(items) => {
+            for (i, value) in items.iter().enumerate() {
+                flatten_json(&format!("{prefix}[{i}]"), value, out);
+            }
+        }
+        leaf => {
+            out.insert(prefix.to_owned(), leaf.clone());
+        }
+    }
+}
+
+fn render_leaf(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Str(s) => format!("{s:?}"),
+        Value::Seq(_) | Value::Map(_) => "<composite>".to_owned(),
+    }
+}
+
+fn as_number(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// `report diff <a> <b>` — leaf-by-leaf comparison of two JSON
+/// documents (campaign reports, metrics snapshots, benchmark files).
+/// Numeric leaves get a signed delta. Exits 0 when identical, 1 when
+/// the documents differ.
+fn cmd_report_diff(p: &Parsed) -> Result<CliOutcome, String> {
+    let a_path = p.positionals.get(1).ok_or("report diff needs two paths: diff <a> <b>")?;
+    let b_path = p.positionals.get(2).ok_or("report diff needs two paths: diff <a> <b>")?;
+    if let Some(extra) = p.positionals.get(3) {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    let load = |path: &str| -> Result<BTreeMap<String, Value>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        let doc: Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: not JSON: {e}"))?;
+        let mut leaves = BTreeMap::new();
+        flatten_json("", &doc, &mut leaves);
+        Ok(leaves)
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    let mut changed = 0usize;
+    let mut unchanged = 0usize;
+    for (path, va) in &a {
+        match b.get(path) {
+            None => {
+                changed += 1;
+                println!("- {path} = {}", render_leaf(va));
+            }
+            Some(vb) if va == vb => unchanged += 1,
+            Some(vb) => {
+                changed += 1;
+                match (as_number(va), as_number(vb)) {
+                    (Some(na), Some(nb)) => {
+                        println!(
+                            "~ {path}: {} -> {} ({:+})",
+                            render_leaf(va),
+                            render_leaf(vb),
+                            nb - na
+                        );
+                    }
+                    _ => println!("~ {path}: {} -> {}", render_leaf(va), render_leaf(vb)),
+                }
+            }
+        }
+    }
+    for (path, vb) in &b {
+        if !a.contains_key(path) {
+            changed += 1;
+            println!("+ {path} = {}", render_leaf(vb));
+        }
+    }
+    if changed == 0 {
+        println!("identical: {unchanged} leaves agree");
+        Ok(CliOutcome::Clean)
+    } else {
+        println!("{changed} leaves differ, {unchanged} agree");
+        // Same exit class as "the assessment found something": callers
+        // gating on drift want a nonzero exit without a CLI error.
+        Ok(CliOutcome::Violations)
+    }
 }
 
 fn cmd_models() -> Result<CliOutcome, String> {
@@ -755,6 +995,7 @@ mod tests {
             phase_us: intrusion_core::PhaseTimings::default(),
             snapshot: hvsim::SnapshotStats::default(),
             tlb: hvsim::TlbStats::default(),
+            flight: Vec::new(),
         };
         let violation = SecurityViolation::HypervisorCrash { message: "x".into() };
         let clean = CampaignReport::from_cells(vec![cell(vec![], None)]);
@@ -945,6 +1186,101 @@ mod tests {
         );
         let err = run(vec!["campaign".into(), "--chaos-seed".into(), "soon".into()]).unwrap_err();
         assert!(err.contains("--chaos-seed"));
+    }
+
+    #[test]
+    fn trace_validate_reports_every_bad_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("cli_trace_corrupt.jsonl").display().to_string();
+        // Two valid lines from a real tracer, two corrupted lines
+        // interleaved: validate must report both with line numbers.
+        let tracer = Tracer::enabled();
+        drop(tracer.ctx(1).span("cell"));
+        let valid = to_jsonl(&tracer.drain());
+        let mut lines = valid.lines();
+        let first = lines.next().unwrap();
+        let second = lines.next().unwrap();
+        let text = format!("{first}\nthis is not json\n{second}\n{{\"shard\":1}}\n");
+        std::fs::write(&path, text).unwrap();
+        let err = run(vec!["trace".into(), "validate".into(), path.clone()]).unwrap_err();
+        assert!(err.contains("2 invalid line(s) out of 4"), "all bad lines counted: {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_diff_flags_changes_and_identity() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("cli_diff_a.json").display().to_string();
+        let b = dir.join("cli_diff_b.json").display().to_string();
+        std::fs::write(&a, r#"{"cells":3,"degraded":0,"tag":"x","gone":1}"#).unwrap();
+        std::fs::write(&b, r#"{"cells":5,"degraded":0,"tag":"y","new":[1,2]}"#).unwrap();
+        let outcome =
+            run(vec!["report".into(), "diff".into(), a.clone(), b.clone()]).unwrap();
+        assert_eq!(outcome, CliOutcome::Violations, "differing documents exit 1");
+        let outcome = run(vec!["report".into(), "diff".into(), a.clone(), a.clone()]).unwrap();
+        assert_eq!(outcome, CliOutcome::Clean, "a document never differs from itself");
+        let err = run(vec!["report".into(), "diff".into(), a.clone()]).unwrap_err();
+        assert!(err.contains("two paths"));
+        let err = run(vec!["report".into(), "diff".into(), a.clone(), b, a]).unwrap_err();
+        assert!(err.contains("unexpected argument"));
+        let not_json = dir.join("cli_diff_nj.json").display().to_string();
+        std::fs::write(&not_json, "][").unwrap();
+        let err =
+            run(vec!["report".into(), "diff".into(), not_json.clone(), not_json]).unwrap_err();
+        assert!(err.contains("not JSON"));
+    }
+
+    #[test]
+    fn chaos_run_writes_flight_dumps_and_timeline() {
+        let dir = std::env::temp_dir().join("cli_flight_dumps");
+        std::fs::remove_dir_all(&dir).ok();
+        let dumps = dir.display().to_string();
+        let timeline = std::env::temp_dir().join("cli_timeline.jsonl").display().to_string();
+        let outcome = run(vec![
+            "campaign".into(),
+            "--chaos-seed".into(),
+            "7".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--progress".into(),
+            "--flight-out".into(),
+            dumps.clone(),
+            "--timeline-out".into(),
+            timeline.clone(),
+            "--metrics-interval-ms".into(),
+            "25".into(),
+        ])
+        .unwrap();
+        assert_eq!(outcome, CliOutcome::Degraded, "seed 7 degrades cells");
+        // Every degraded slot carries a non-empty, schema-valid dump.
+        let mut dump_files = 0usize;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if !name.starts_with("slot-") {
+                continue;
+            }
+            dump_files += 1;
+            assert!(std::fs::metadata(&path).unwrap().len() > 0, "{name} must not be empty");
+            run(vec!["trace".into(), "validate".into(), path.display().to_string()])
+                .expect("flight dumps are trace-schema JSONL");
+        }
+        assert!(dump_files > 0, "a degraded chaos run must leave forensic dumps");
+        let samples = std::fs::read_to_string(&timeline).unwrap();
+        assert!(samples.contains("progress.done"), "timeline carries progress: {samples}");
+        assert!(samples.contains("queue.depth"), "timeline carries stream gauges");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(timeline).ok();
+        let err = run(vec![
+            "campaign".into(),
+            "--metrics-interval-ms".into(),
+            "0".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--metrics-interval-ms"));
+        let err =
+            run(vec!["campaign".into(), "--flight-capacity".into(), "big".into()]).unwrap_err();
+        assert!(err.contains("--flight-capacity"));
     }
 
     #[test]

@@ -214,6 +214,7 @@ mod tests {
             phase_us: crate::campaign::PhaseTimings::default(),
             snapshot: hvsim::SnapshotStats::default(),
             tlb: hvsim::TlbStats::default(),
+            flight: Vec::new(),
         }
     }
 

@@ -14,13 +14,18 @@ use crate::stream::{
     BoundedQueue, CellSpec, GridFingerprint, PartialFold, ResidentGauge, Shard, SpecGrid,
     StreamOutcome, StreamRunStats,
 };
+use crate::telemetry::{self, Telemetry};
 use guestos::{BootError, World, WorldBuilder};
 use hvsim::{SnapshotStats, TlbStats, XenVersion};
-use hvsim_obs::{HistogramSummary, MetricsRegistry, MetricsSnapshot, TraceCtx, Tracer};
+use hvsim_obs::{
+    FlightEvent, FlightHandle, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+    MetricsTimeline, TraceCtx, Tracer, DEFAULT_FLIGHT_CAPACITY,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -147,6 +152,12 @@ pub struct CellResult {
     /// construction when the TLB is disabled, so it is zeroed by
     /// [`CampaignReport::normalized`] too.
     pub tlb: TlbStats,
+    /// The cell's forensic tail: flight-recorder events its worker
+    /// retained for this slot, attached only when the cell degraded
+    /// (empty otherwise, and whenever the recorder is off). Cleared by
+    /// [`CampaignReport::normalized`] so normalized reports are
+    /// byte-identical with the recorder on or off.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl CellResult {
@@ -221,6 +232,10 @@ impl CampaignReport {
             // cache toggle; neither is part of the assessment result.
             cell.snapshot = SnapshotStats::default();
             cell.tlb = TlbStats::default();
+            // Forensic tails are wall-clock-stamped diagnostics whose
+            // presence depends on the recorder setting; normalization
+            // drops them so recorder-on and recorder-off reports match.
+            cell.flight = Vec::new();
         }
         report.metrics = report.metrics.as_ref().map(MetricsSnapshot::normalized);
         report
@@ -538,6 +553,26 @@ pub struct CampaignConfig {
     /// Seeded harness-fault injection (see [`crate::chaos`]); `None`
     /// (the default) runs no chaos.
     pub chaos: Option<ChaosConfig>,
+    /// Per-worker flight-recorder ring capacity, in events. The
+    /// recorder is always on at negligible cost (one mutexed ring push
+    /// per event, no allocation beyond the event itself); `0` disables
+    /// it, which is the escape hatch the overhead gate measures
+    /// against. Defaults to [`DEFAULT_FLIGHT_CAPACITY`].
+    pub flight_capacity: usize,
+    /// Directory stall-triggered flight dumps are written into by the
+    /// supervisor (`stall-worker-<n>.jsonl`); `None` disables stall
+    /// dumps (stalls are still counted).
+    pub flight_out: Option<PathBuf>,
+    /// Metrics-timeline sampling interval. `Some` starts the
+    /// supervisor thread which pushes one [`TimelineSample`]
+    /// (`hvsim_obs::TimelineSample`) per tick into the attached
+    /// timeline; `None` leaves sampling off unless `progress` or
+    /// `flight_out` needs the supervisor anyway (then a 200ms default
+    /// is used).
+    pub metrics_interval: Option<Duration>,
+    /// Redraw a live progress line (done/total, cells/s, ETA, degraded
+    /// count) on stderr every sampling tick.
+    pub progress: bool,
 }
 
 impl Default for CampaignConfig {
@@ -554,6 +589,10 @@ impl Default for CampaignConfig {
             checkpoint_interval: 1024,
             journal_slots: false,
             chaos: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_out: None,
+            metrics_interval: None,
+            progress: false,
         }
     }
 }
@@ -567,6 +606,7 @@ pub struct Campaign {
     config: CampaignConfig,
     tracer: Tracer,
     metrics: Option<MetricsRegistry>,
+    timeline: Option<MetricsTimeline>,
 }
 
 impl Campaign {
@@ -582,6 +622,7 @@ impl Campaign {
             config: CampaignConfig { reuse_snapshots: true, ..CampaignConfig::default() },
             tracer: Tracer::disabled(),
             metrics: None,
+            timeline: None,
         }
     }
 
@@ -705,6 +746,48 @@ impl Campaign {
         self
     }
 
+    /// Sets the per-worker flight-recorder ring capacity (see
+    /// [`CampaignConfig::flight_capacity`]); `0` disables the recorder.
+    #[must_use]
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.config.flight_capacity = capacity;
+        self
+    }
+
+    /// Sets the directory stall-triggered flight dumps are written
+    /// into (see [`CampaignConfig::flight_out`]).
+    #[must_use]
+    pub fn flight_out(mut self, dir: PathBuf) -> Self {
+        self.config.flight_out = Some(dir);
+        self
+    }
+
+    /// Enables the metrics-timeline sampler at `interval` (see
+    /// [`CampaignConfig::metrics_interval`]).
+    #[must_use]
+    pub fn metrics_interval(mut self, interval: Duration) -> Self {
+        self.config.metrics_interval = Some(interval);
+        self
+    }
+
+    /// Enables the live progress line on stderr (see
+    /// [`CampaignConfig::progress`]).
+    #[must_use]
+    pub fn progress(mut self, enabled: bool) -> Self {
+        self.config.progress = enabled;
+        self
+    }
+
+    /// Attaches a timeline the supervisor pushes live samples into;
+    /// drain it after the run (see [`MetricsTimeline::to_jsonl`]).
+    /// Implies the supervisor runs even without an explicit
+    /// [`Campaign::metrics_interval`].
+    #[must_use]
+    pub fn timeline(mut self, timeline: MetricsTimeline) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
     /// The campaign's cell grid: use cases × versions × modes × trials.
     pub fn grid(&self) -> SpecGrid {
         SpecGrid::new(self.use_cases.len(), &self.versions, &self.modes, self.config.trials)
@@ -787,9 +870,18 @@ impl Campaign {
         let slots: Vec<Mutex<CellSlot>> =
             work.iter().map(|_| Mutex::new(CellSlot::Pending)).collect();
         let workers = jobs.max(1).min(work.len());
+        let flights: Vec<FlightHandle> =
+            (0..workers).map(|_| FlightHandle::new(self.config.flight_capacity)).collect();
+        let telemetry = Telemetry::new(work.len() as u64, workers);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            let next = &next;
+            let completed = &completed;
+            let slots = &slots;
+            let work = &work;
+            let base_worlds = &base_worlds;
+            let telemetry = &telemetry;
+            for (worker, flight) in flights.iter().enumerate() {
+                scope.spawn(move || {
                     // Each worker keeps its own cache of base-world
                     // handles: the shared map is consulted at most once
                     // per (version, injector) key per worker, so the
@@ -798,12 +890,14 @@ impl Campaign {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&spec) = work.get(i) else {
+                            telemetry.worker_finished(worker);
                             break;
                         };
+                        telemetry.beat(worker);
                         let started = Instant::now();
                         *lock_recover(&slots[i]) = CellSlot::Running { started };
                         let ctx = self.tracer.ctx(spec.slot + 1);
-                        let cell = self.run_cell_contained(
+                        let mut cell = self.run_cell_contained(
                             &ctx,
                             &*self.use_cases[spec.use_case],
                             spec.version,
@@ -811,17 +905,26 @@ impl Campaign {
                             spec.trial,
                             base_worlds.as_ref().map(|worlds| (worlds, &mut cache)),
                             0,
+                            flight,
+                            spec.slot,
                         );
+                        if cell.degraded() {
+                            cell.flight = flight.tail(spec.slot);
+                        }
+                        let degraded = cell.degraded();
                         self.finalize_slot(&slots[i], started, cell);
+                        telemetry.cell_done(degraded);
                         completed.fetch_add(1, Ordering::Release);
                     }
                 });
             }
             if let Some(deadline) = self.config.cell_deadline {
-                let slots = &slots;
-                let completed = &completed;
                 let total = work.len();
                 scope.spawn(move || watchdog(slots, completed, total, deadline));
+            }
+            if self.supervisor_wanted() {
+                let supervisor = self.supervisor(&flights);
+                scope.spawn(move || supervisor.run(telemetry, &|_| {}));
             }
         });
 
@@ -833,7 +936,17 @@ impl Campaign {
                 match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
                     CellSlot::Done(cell) => *cell,
                     CellSlot::TimedOut { phases } => {
-                        self.timed_out_cell(uc, spec.version, spec.mode, phases)
+                        let mut cell = self.timed_out_cell(uc, spec.version, spec.mode, phases);
+                        // The worker attaches tails for cells it saw
+                        // degrade; a watchdog-relabelled slot is only
+                        // known degraded here, so fetch its tail from
+                        // whichever worker ring still holds it.
+                        cell.flight = flights
+                            .iter()
+                            .map(|flight| flight.tail(spec.slot))
+                            .find(|tail| !tail.is_empty())
+                            .unwrap_or_default();
+                        cell
                     }
                     // Unreachable — cell bodies are contained, so a
                     // worker always finalizes its slot — but a lost
@@ -859,9 +972,46 @@ impl Campaign {
         // never in worker-scheduling order.
         if let Some(registry) = &self.metrics {
             obs_bridge::record_report_metrics(&report, registry);
+            // When chaos is configured the `campaign.chaos.*` counters
+            // are always published — zeros distinguish "chaos quiet"
+            // from "chaos off" (the classic engine injects no faults,
+            // so these are always zero here).
+            if self.config.chaos.is_some() {
+                obs_bridge::record_chaos_metrics(self.chaos_policy().as_deref(), registry);
+            }
             report.metrics = Some(registry.snapshot());
         }
         report
+    }
+
+    /// Whether this run needs the telemetry supervisor thread.
+    fn supervisor_wanted(&self) -> bool {
+        self.config.metrics_interval.is_some()
+            || self.config.progress
+            || self.config.flight_out.is_some()
+            || self.timeline.is_some()
+    }
+
+    /// The run's telemetry supervisor, borrowing the per-worker flight
+    /// handles so a stall can dump the wedged worker's ring.
+    fn supervisor<'a>(&'a self, flights: &'a [FlightHandle]) -> telemetry::Supervisor<'a> {
+        let interval = self.config.metrics_interval.unwrap_or(Duration::from_millis(200));
+        // A busy worker counts as stalled only when its heartbeat age
+        // dwarfs both the sampling cadence and the worst legitimate
+        // cell — chaos slowdowns sleep 2× the deadline, so 4× is
+        // comfortably past anything a healthy worker does.
+        let stall_after = (interval * 4)
+            .max(self.config.cell_deadline.map_or(Duration::ZERO, |d| d * 4))
+            .max(Duration::from_secs(2));
+        telemetry::Supervisor {
+            interval,
+            stall_after,
+            progress: self.config.progress,
+            timeline: self.timeline.as_ref(),
+            registry: self.metrics.as_ref(),
+            flight: flights,
+            flight_out: self.config.flight_out.as_deref(),
+        }
     }
 
     /// Stores a finished cell into its slot, honoring the deadline.
@@ -1026,6 +1176,11 @@ impl Campaign {
         let resident = ResidentGauge::default();
         let folds: Mutex<Vec<PartialFold>> = Mutex::new(Vec::with_capacity(workers));
         let first_worker = session.as_ref().map_or(1, |s| s.first_worker);
+        let flights: Vec<FlightHandle> =
+            (0..workers).map(|_| FlightHandle::new(self.config.flight_capacity)).collect();
+        let live_total =
+            total.saturating_sub(session.as_ref().map_or(0, CheckpointSession::resumed_slots));
+        let telemetry = Telemetry::new(live_total, workers);
         {
             let session = session.as_ref();
             let policy = policy.as_deref();
@@ -1043,12 +1198,13 @@ impl Campaign {
                     }
                     queue.close();
                 });
-                for index in 0..workers {
+                for (index, flight) in flights.iter().enumerate() {
                     let worker_id = first_worker + index as u64;
                     let queue = &queue;
                     let resident = &resident;
                     let folds = &folds;
                     let base_worlds = &base_worlds;
+                    let telemetry = &telemetry;
                     scope.spawn(move || {
                         let mut cache: BaseCache = BTreeMap::new();
                         let mut fold = PartialFold::default();
@@ -1056,6 +1212,7 @@ impl Campaign {
                         let mut batch: Vec<u64> = Vec::new();
                         let mut pending = crate::checkpoint::SlotBuffer::default();
                         while let Some(spec) = queue.pop() {
+                            telemetry.beat(index);
                             let started = Instant::now();
                             let ctx = self.tracer.ctx(spec.slot + 1);
                             let uc = &*self.use_cases[spec.use_case];
@@ -1070,6 +1227,27 @@ impl Campaign {
                                         p.transient_boot_faults(spec.slot, self.config.retries),
                                     )
                                 });
+                            // Chaos decisions land in the flight ring
+                            // too: a degraded cell's forensic tail shows
+                            // which fault was injected, not just its
+                            // effect. All three are pure functions of
+                            // (seed, slot), so tails stay deterministic.
+                            if chaos_panic {
+                                flight.record(spec.slot, "chaos/worker_panic", 0);
+                            }
+                            if let Some(slow) = chaos_slow {
+                                flight.record_with(
+                                    spec.slot,
+                                    "chaos/slowdown",
+                                    slow.as_micros() as u64,
+                                    |d| d.push_str("2x deadline"),
+                                );
+                            }
+                            if chaos_boot_faults > 0 {
+                                flight.record_with(spec.slot, "chaos/transient_boots", 0, |d| {
+                                    let _ = write!(d, "faults={chaos_boot_faults}");
+                                });
+                            }
                             let chaos_uc;
                             let run_uc: &dyn UseCase = if chaos_panic || chaos_slow.is_some() {
                                 chaos_uc = ChaosUseCase::new(uc, chaos_panic, chaos_slow);
@@ -1093,8 +1271,11 @@ impl Campaign {
                                 spec.trial,
                                 worlds,
                                 chaos_boot_faults,
+                                flight,
+                                spec.slot,
                             );
                             if self.config.cell_deadline.is_some_and(|d| started.elapsed() > d) {
+                                flight.record(spec.slot, "cell/deadline_exceeded", 0);
                                 cell = self.timed_out_cell(
                                     uc,
                                     spec.version,
@@ -1102,6 +1283,10 @@ impl Campaign {
                                     Some(cell.phase_us),
                                 );
                             }
+                            if cell.degraded() {
+                                cell.flight = flight.tail(spec.slot);
+                            }
+                            telemetry.cell_done(cell.degraded());
                             fold.fold(&spec, &cell);
                             if let Some(s) = session {
                                 let journal_span = ctx.span("cell/journal");
@@ -1135,6 +1320,36 @@ impl Campaign {
                             }
                         }
                         lock_recover(folds).push(fold);
+                        telemetry.worker_finished(index);
+                    });
+                }
+                if self.supervisor_wanted() {
+                    let supervisor = self.supervisor(&flights);
+                    let telemetry = &telemetry;
+                    let queue = &queue;
+                    let resident = &resident;
+                    scope.spawn(move || {
+                        supervisor.run(telemetry, &|values| {
+                            values.push(("queue.depth".to_owned(), queue.len() as u64));
+                            values.push(("resident.cells".to_owned(), resident.current()));
+                            values.push(("resident.peak".to_owned(), resident.peak()));
+                            values.push(("queue.push_stall_us".to_owned(), queue.push_stall_us()));
+                            values.push(("queue.pop_stall_us".to_owned(), queue.pop_stall_us()));
+                            if let Some(s) = session {
+                                let counters = s.writer.counters();
+                                values.push(("checkpoint.slots".to_owned(), counters.slots));
+                                values.push(("checkpoint.folds".to_owned(), counters.folds));
+                                values.push(("checkpoint.syncs".to_owned(), counters.syncs));
+                                values.push(("checkpoint.bytes".to_owned(), counters.bytes));
+                            }
+                            if let Some(p) = policy {
+                                let (panics, boots, slowdowns, stalls, torn) = p.fired();
+                                values.push((
+                                    "chaos.fired".to_owned(),
+                                    panics + boots + slowdowns + stalls + torn,
+                                ));
+                            }
+                        });
                     });
                 }
             });
@@ -1177,8 +1392,11 @@ impl Campaign {
                     registry,
                 );
             }
-            if let Some(p) = &policy {
-                obs_bridge::record_chaos_metrics(p, registry);
+            // Published whenever chaos is configured — even a no-op or
+            // quiet policy records explicit zeros, so dashboards can
+            // tell "chaos quiet" from "chaos off".
+            if self.config.chaos.is_some() {
+                obs_bridge::record_chaos_metrics(policy.as_deref(), registry);
             }
         }
         StreamOutcome { report, stats }
@@ -1261,6 +1479,8 @@ impl Campaign {
         trial: u64,
         worlds: Option<(&BaseWorlds, &mut BaseCache)>,
         boot_faults: u32,
+        flight: &FlightHandle,
+        slot: u64,
     ) -> CellResult {
         let start = Instant::now();
         let mut phases = PhaseTimings::default();
@@ -1270,6 +1490,9 @@ impl Campaign {
                 ("version".to_owned(), version.to_string()),
                 ("mode".to_owned(), mode.to_string()),
             ]
+        });
+        flight.record_with(slot, "cell/start", 0, |d| {
+            let _ = write!(d, "{}/{version}/{mode} trial={trial}", uc.name());
         });
         // Phase 1: world acquisition. `AssertUnwindSafe` is sound here:
         // the base snapshot is only read through `&` during `Clone`, and
@@ -1330,11 +1553,22 @@ impl Campaign {
                 ("ok".to_owned(), world.is_ok().to_string()),
             ]
         });
+        flight.record_with(slot, "cell/boot/result", phases.boot_us.unwrap_or(0), |d| {
+            let _ = write!(
+                d,
+                "attempts={attempts} source={} ok={}",
+                if fresh_boot { "boot" } else { "snapshot" },
+                world.is_ok()
+            );
+        });
         drop(boot_span);
         let mut world = match world {
             Ok(world) => world,
             Err(error) => {
                 let wall = start.elapsed().as_micros() as u64;
+                flight.record_with(slot, "cell/degraded", 0, |d| {
+                    let _ = write!(d, "{error}");
+                });
                 return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
             }
         };
@@ -1343,15 +1577,33 @@ impl Campaign {
         }
         if fresh_boot {
             obs_bridge::bridge_boot_stages(ctx, "cell/boot", world.boot_trace());
+            flight.with_recorder(|recorder| {
+                for stage in world.boot_trace() {
+                    recorder.record_parts(slot, stage.wall_us, |path, _| {
+                        path.push_str("cell/boot/");
+                        path.push_str(stage.stage);
+                    });
+                }
+            });
         }
         let base_hypercalls = world.hv().hypercall_count();
         // Audit events up to here belong to the world's boot (or to the
         // snapshot it was cloned from); everything past this baseline is
         // this cell's doing and gets bridged into its trace shard.
         let audit_baseline = world.hv().audit().events().len();
-        let bridge_audit = |world: &World| {
+        // Traces get the cell's audit events unconditionally; the
+        // flight ring gets them only when the cell degrades. A clean
+        // cell's audits can never surface in a forensic tail (tails
+        // filter by slot), so recording them would only pay the
+        // per-hypercall cost — the bulk of a cell's event volume — for
+        // data nothing can read back.
+        let bridge_audit = |world: &World, degrading: bool| {
             let events = world.hv().audit().events();
-            obs_bridge::bridge_audit(ctx, events.get(audit_baseline..).unwrap_or(&[]));
+            let fresh = events.get(audit_baseline..).unwrap_or(&[]);
+            obs_bridge::bridge_audit(ctx, fresh);
+            if degrading {
+                obs_bridge::bridge_audit_flight(flight, slot, fresh);
+            }
         };
         let Some(attacker) =
             world.domain_by_name(ATTACKER_GUEST).or_else(|| world.domains().last().copied())
@@ -1361,6 +1613,9 @@ impl Campaign {
                 attempts,
             };
             let wall = start.elapsed().as_micros() as u64;
+            flight.record_with(slot, "cell/degraded", 0, |d| {
+                let _ = write!(d, "{error}");
+            });
             return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
         };
 
@@ -1376,12 +1631,18 @@ impl Campaign {
         }));
         phases.inject_us = Some(inject_start.elapsed().as_micros() as u64);
         drop(inject_span);
+        flight.record_with(slot, "cell/inject", phases.inject_us.unwrap_or(0), |d| {
+            let _ = write!(d, "ok={}", outcome.is_ok());
+        });
         let outcome = match outcome {
             Ok(outcome) => outcome,
             Err(p) => {
                 let error = CampaignError::HarnessCrash { payload: panic_payload(p.as_ref()) };
                 let wall = start.elapsed().as_micros() as u64;
-                bridge_audit(&world);
+                bridge_audit(&world, true);
+                flight.record_with(slot, "cell/degraded", 0, |d| {
+                    let _ = write!(d, "{error}");
+                });
                 return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
             }
         };
@@ -1395,12 +1656,18 @@ impl Campaign {
         }));
         phases.monitor_us = Some(monitor_start.elapsed().as_micros() as u64);
         drop(monitor_span);
+        flight.record_with(slot, "cell/monitor", phases.monitor_us.unwrap_or(0), |d| {
+            let _ = write!(d, "ok={}", observed.is_ok());
+        });
         let (observation, detector_failures) = match observed {
             Ok(observed) => observed,
             Err(p) => {
                 let error = CampaignError::Monitor { message: panic_payload(p.as_ref()) };
                 let wall = start.elapsed().as_micros() as u64;
-                bridge_audit(&world);
+                bridge_audit(&world, true);
+                flight.record_with(slot, "cell/degraded", 0, |d| {
+                    let _ = write!(d, "{error}");
+                });
                 return self.degraded_cell(uc, version, mode, error, attempts, wall, phases);
             }
         };
@@ -1410,8 +1677,18 @@ impl Campaign {
             Some(CampaignError::Monitor { message: detector_failures.join("; ") })
         };
 
-        bridge_audit(&world);
+        // A completed cell still degrades when its error is a harness
+        // failure (detector panics), so that tail keeps its audits too.
+        bridge_audit(&world, error.as_ref().is_some_and(CampaignError::is_harness_failure));
         let handled = outcome.erroneous_state && observation.is_clean();
+        flight.record_with(slot, "cell/done", 0, |d| {
+            let _ = write!(
+                d,
+                "erroneous_state={} violations={} handled={handled}",
+                outcome.erroneous_state,
+                observation.violations.len()
+            );
+        });
         CellResult {
             use_case: uc.name().to_owned(),
             abusive_functionality: uc.intrusion_model().abusive_functionality.label().to_owned(),
@@ -1429,6 +1706,7 @@ impl Campaign {
             phase_us: phases,
             snapshot: world.snapshot_stats(),
             tlb: world.tlb_stats(),
+            flight: Vec::new(),
         }
         .with_wall_time(start.elapsed().as_micros() as u64)
     }
@@ -1479,6 +1757,7 @@ impl Campaign {
             phase_us: phases,
             snapshot: SnapshotStats::default(),
             tlb: TlbStats::default(),
+            flight: Vec::new(),
         }
     }
 
@@ -2209,5 +2488,85 @@ mod tests {
         );
         assert!(cell.degraded(), "a partial observation is harness degradation");
         assert!(cell.violated(), "the surviving detectors still observed the crash");
+    }
+
+    #[test]
+    fn degraded_cells_carry_forensic_flight_tails() {
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .world_factory(panicking_factory((XenVersion::V4_8, true)))
+            .run_with_jobs(2);
+        let bad = report.cell("synthetic-crash", XenVersion::V4_8, Mode::Injection).unwrap();
+        assert!(bad.degraded());
+        assert!(!bad.flight.is_empty(), "a degraded cell carries its flight tail");
+        let paths: Vec<&str> = bad.flight.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"cell/start"), "{paths:?}");
+        assert!(paths.contains(&"cell/degraded"), "{paths:?}");
+        // Tails are re-stamped per cell: dense seq from 0, one slot.
+        for (i, event) in bad.flight.iter().enumerate() {
+            assert_eq!(event.seq, i as u64, "tail seq must be dense");
+            assert_eq!(event.slot, bad.flight[0].slot);
+        }
+        for cell in report.cells() {
+            if !cell.degraded() {
+                assert!(cell.flight.is_empty(), "clean cells carry no tail");
+            }
+        }
+        // Tails are forensic diagnostics, never report content.
+        assert!(report.normalized().cells().iter().all(|c| c.flight.is_empty()));
+    }
+
+    #[test]
+    fn flight_recorder_does_not_change_the_normalized_report() {
+        let factory = panicking_factory((XenVersion::V4_6, true));
+        let on = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .world_factory(factory.clone())
+            .run_with_jobs(4)
+            .normalized()
+            .to_json()
+            .unwrap();
+        let off = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .world_factory(factory)
+            .flight_capacity(0)
+            .run_with_jobs(1)
+            .normalized()
+            .to_json()
+            .unwrap();
+        assert_eq!(on, off, "recorder on/off must not perturb normalized reports");
+    }
+
+    #[test]
+    fn supervisor_samples_the_timeline() {
+        let timeline = MetricsTimeline::new();
+        let registry = MetricsRegistry::new();
+        let report = Campaign::new()
+            .with_use_case(Box::new(CrashCase))
+            .timeline(timeline.clone())
+            .metrics(registry.clone())
+            .metrics_interval(Duration::from_millis(5))
+            .run_with_jobs(2);
+        // The supervisor's final tick runs after the last worker
+        // finishes, so even a sub-interval run has a complete sample.
+        assert!(!timeline.is_empty(), "at least the final sample lands");
+        let samples = timeline.samples();
+        let last = samples.last().unwrap();
+        let value =
+            |name: &str| last.values.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
+        let total = report.cells().len() as u64;
+        assert_eq!(value("progress.total"), Some(total));
+        assert_eq!(value("progress.done"), Some(total));
+        assert_eq!(value("progress.degraded"), Some(0));
+        assert!(value("workers.busy").is_some());
+        assert!(value("throughput.cells_per_sec_x1000").is_some());
+        // The stall counter is pre-registered as an explicit zero.
+        let snapshot = report.metrics().expect("metrics snapshot attached");
+        let stalled = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == crate::obs_bridge::M_WORKER_STALLED)
+            .expect("campaign.worker.stalled pre-registered");
+        assert_eq!(stalled.value, 0);
     }
 }

@@ -91,6 +91,7 @@ pub mod report;
 pub mod scenario;
 pub mod stream;
 pub mod taxonomy;
+mod telemetry;
 
 pub use avi::{ThreatChain, ThreatLink, ThreatStage};
 pub use benchmark::{SecurityAttribute, SecurityBenchmark, VersionScore};

@@ -11,7 +11,7 @@ use crate::campaign::{CampaignReport, CellResult};
 use crate::stream::{StreamReport, StreamRunStats};
 use guestos::BootStage;
 use hvsim::AuditEvent;
-use hvsim_obs::{Histogram, MetricsRegistry, TraceCtx};
+use hvsim_obs::{FlightHandle, Histogram, MetricsRegistry, TraceCtx};
 
 /// Counter: cells the campaign scheduled.
 pub const M_CELLS: &str = "campaign.cells";
@@ -78,6 +78,12 @@ pub const M_CHAOS_SLOWDOWNS: &str = "campaign.chaos.slowdowns";
 pub const M_CHAOS_STALLS: &str = "campaign.chaos.queue_stalls";
 /// Counter (chaos only): journal records torn mid-write.
 pub const M_CHAOS_TORN: &str = "campaign.chaos.torn_writes";
+/// Counter: stall episodes the supervisor flagged — a busy worker
+/// whose heartbeat age exceeded the stall threshold. Wall-clock
+/// shaped, so it lives outside determinism diffs like the
+/// `campaign.stream.*` family. Pre-registered at 0 whenever the
+/// supervisor runs, so "no stalls" is an explicit value.
+pub const M_WORKER_STALLED: &str = "campaign.worker.stalled";
 
 /// Re-emits hypervisor audit events as trace points under
 /// `audit/<kind>`, one per event, with the human-readable rendering in
@@ -93,6 +99,29 @@ pub fn bridge_audit(ctx: &TraceCtx, events: &[AuditEvent]) {
             vec![("detail".to_owned(), event.to_string())]
         });
     }
+}
+
+/// Records hypervisor audit events into a worker's flight ring under
+/// `audit/<kind>`, mirroring [`bridge_audit`]'s trace emission — the
+/// recorder is always on, so a degraded cell's forensic tail carries
+/// the hypercall/audit activity even when tracing is off.
+///
+/// Called only on a cell's *degradation* paths: a clean cell's audit
+/// events can never appear in another cell's tail (tails filter by
+/// slot), and a wedged cell hasn't reached its bridge point yet, so
+/// skipping them changes no dump while keeping one audit-heavy cell
+/// from paying per-hypercall recording cost on the clean hot path.
+pub(crate) fn bridge_audit_flight(flight: &FlightHandle, slot: u64, events: &[AuditEvent]) {
+    use std::fmt::Write as _;
+    flight.with_recorder(|recorder| {
+        for event in events {
+            recorder.record_parts(slot, 0, |path, detail| {
+                path.push_str("audit/");
+                path.push_str(event.kind());
+                let _ = write!(detail, "{event}");
+            });
+        }
+    });
 }
 
 /// Re-emits the guest boot trace as points under `<parent>/<stage>`,
@@ -220,8 +249,17 @@ pub(crate) fn record_checkpoint_metrics(
 }
 
 /// Folds a finished run's chaos-fault tallies into the registry.
-pub(crate) fn record_chaos_metrics(policy: &crate::chaos::ChaosPolicy, registry: &MetricsRegistry) {
-    let (panics, boots, slowdowns, stalls, torn) = policy.fired();
+///
+/// Called whenever chaos is *configured*, even when the policy is
+/// no-op (`None`) or simply fired nothing: the `campaign.chaos.*`
+/// counters then read an explicit 0, so a dashboard can distinguish
+/// "chaos off" (counters absent) from "chaos quiet" (counters zero).
+pub(crate) fn record_chaos_metrics(
+    policy: Option<&crate::chaos::ChaosPolicy>,
+    registry: &MetricsRegistry,
+) {
+    let (panics, boots, slowdowns, stalls, torn) =
+        policy.map_or((0, 0, 0, 0, 0), crate::chaos::ChaosPolicy::fired);
     registry.add(M_CHAOS_PANICS, panics);
     registry.add(M_CHAOS_BOOTS, boots);
     registry.add(M_CHAOS_SLOWDOWNS, slowdowns);

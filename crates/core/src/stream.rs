@@ -34,7 +34,7 @@ use crate::error::{CampaignError, CellOutcome};
 use crate::report::TextTable;
 use crate::scenario::Mode;
 use hvsim::XenVersion;
-use hvsim_obs::{Histogram, HistogramSummary};
+use hvsim_obs::{FlightEvent, Histogram, HistogramSummary};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -362,6 +362,11 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
+    /// Items currently queued — a telemetry gauge, racy by nature.
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).items.len()
+    }
+
     /// Total time producers spent blocked on a full queue, µs.
     pub(crate) fn push_stall_us(&self) -> u64 {
         self.push_stall_us.load(Ordering::Relaxed)
@@ -390,6 +395,11 @@ impl ResidentGauge {
 
     pub(crate) fn exit(&self) {
         self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Cells resident right now — a telemetry gauge, racy by nature.
+    pub(crate) fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
     }
 
     pub(crate) fn peak(&self) -> u64 {
@@ -448,6 +458,12 @@ pub struct DegradedSlot {
     pub outcome: CellOutcome,
     /// The typed failure.
     pub error: Option<CampaignError>,
+    /// The cell's forensic tail: the flight-recorder events its worker
+    /// retained for this slot (empty when the recorder is off). Raw
+    /// `wall_us` values are wall-clock; [`StreamReport::normalized`]
+    /// clears the whole tail so normalized reports are byte-identical
+    /// with the recorder on or off.
+    pub flight: Vec<FlightEvent>,
 }
 
 /// Identity of the campaign grid a [`StreamReport`] was produced from:
@@ -640,6 +656,14 @@ impl StreamReport {
             completed: p.completed.normalized(),
             degraded: p.degraded.normalized(),
         };
+        // Forensic tails are diagnostics: their wall_us fields are
+        // wall-clock and their presence depends on the recorder
+        // setting, so normalization drops them entirely — a normalized
+        // report is byte-identical with the recorder on or off.
+        let mut degraded_slots = self.degraded_slots.clone();
+        for slot in degraded_slots.values_mut() {
+            slot.flight = Vec::new();
+        }
         Self {
             wall_time_us: 0,
             frames_copied: 0,
@@ -650,6 +674,7 @@ impl StreamReport {
                 inject: norm_phase(&self.latency.inject),
                 monitor: norm_phase(&self.latency.monitor),
             },
+            degraded_slots,
             ..self.clone()
         }
     }
@@ -973,6 +998,7 @@ impl PartialFold {
                     trial: spec.trial,
                     outcome: cell.outcome.clone(),
                     error: cell.error.clone(),
+                    flight: cell.flight.clone(),
                 },
             );
         } else {
@@ -1209,6 +1235,7 @@ mod tests {
                 },
                 snapshot: hvsim::SnapshotStats::default(),
                 tlb: hvsim::TlbStats::default(),
+                flight: Vec::new(),
             };
             if spec.slot % 2 == 0 {
                 fold_a.fold(&spec, &cell);
@@ -1253,6 +1280,13 @@ mod tests {
             phase_us: crate::campaign::PhaseTimings::default(),
             snapshot: hvsim::SnapshotStats::default(),
             tlb: hvsim::TlbStats::default(),
+            flight: vec![FlightEvent {
+                slot: 5,
+                seq: 0,
+                path: "cell/degraded".into(),
+                wall_us: 7,
+                detail: "boot failed".into(),
+            }],
         };
         let mut fold = PartialFold::default();
         fold.fold(&spec, &cell);
@@ -1263,6 +1297,11 @@ mod tests {
         let slot = report.degraded_slots.get(&5).unwrap();
         assert_eq!(slot.outcome, CellOutcome::BootFailed);
         assert_eq!(slot.trial, spec.trial);
+        assert_eq!(slot.flight.len(), 1, "the forensic tail rides along in the fold");
         assert!(report.render_keys().contains("uc/"));
+        // Normalization drops the tail so recorder-on and recorder-off
+        // reports are byte-identical.
+        let norm = report.normalized();
+        assert!(norm.degraded_slots.get(&5).unwrap().flight.is_empty());
     }
 }

@@ -16,7 +16,7 @@ use crate::trace::{EventKind, TraceEvent};
 use std::fmt::Write as _;
 
 /// Appends a JSON string literal (with escaping) to `out`.
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -21,7 +21,12 @@
 //! * [`jsonl`] — the stable-field-order JSONL wire format plus the
 //!   strict line validator behind `trace validate`,
 //! * [`TraceSummary`] — flamegraph-style self-time aggregation and the
-//!   top-N slowest-cells table behind `trace summary` ([`summary`]).
+//!   top-N slowest-cells table behind `trace summary` ([`summary`]),
+//! * [`FlightHandle`] / [`FlightRecorder`] — a per-worker fixed-capacity
+//!   overwrite-oldest event ring whose slot tail becomes the forensic
+//!   dump attached to degraded cells ([`flight`]),
+//! * [`MetricsTimeline`] — wall-clock time series of live pipeline
+//!   state, sampled every `--metrics-interval-ms` ([`metrics`]).
 //!
 //! A disabled [`Tracer`] is a true no-op: one branch per call site, no
 //! allocation, attribute closures never run.
@@ -49,15 +54,17 @@
 // their unwraps.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod flight;
 pub mod jsonl;
 pub mod metrics;
 pub mod summary;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightHandle, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use jsonl::{encode_event, normalized_jsonl, parse_jsonl, parse_line, to_jsonl, ParseError};
 pub use metrics::{
     CounterSnapshot, Histogram, HistogramSnapshot, HistogramSummary, MetricsRegistry,
-    MetricsSnapshot,
+    MetricsSnapshot, MetricsTimeline, TimelineSample,
 };
 pub use summary::{CellTiming, SummaryRow, TraceSummary};
 pub use trace::{EventKind, Span, TraceCtx, TraceEvent, Tracer};

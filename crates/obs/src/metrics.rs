@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -18,12 +19,28 @@ fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
-/// Number of power-of-two buckets. Bucket `i` (for `i > 0`) covers
-/// values in `[2^(i-1), 2^i)`; bucket 0 covers exactly 0. 40 buckets
-/// reach ~2^39 µs ≈ 6 days, far beyond any cell deadline.
+/// Number of power-of-two buckets. See [`Histogram`] for the boundary
+/// scheme. 40 buckets reach ~2^39 µs ≈ 6 days, far beyond any cell
+/// deadline.
 const BUCKETS: usize = 40;
 
 /// A fixed-bucket latency histogram over microsecond values.
+///
+/// # Bucket boundaries
+///
+/// Buckets are powers of two, indexed by the bit length of the value:
+///
+/// * bucket 0 holds exactly the value `0`,
+/// * bucket `i` (for `i ≥ 1`) holds values in `[2^(i-1), 2^i)` — so
+///   bucket 1 holds `{1}`, bucket 2 holds `{2, 3}`, bucket 3 holds
+///   `{4..7}`, and so on,
+/// * the last bucket (index 39) additionally absorbs anything at or
+///   above `2^39` µs, so no value is ever dropped.
+///
+/// Quantiles are reported as the **inclusive upper bound** of the
+/// bucket containing the quantile rank (`2^i - 1`), clamped to the
+/// exact observed maximum — a single-sample histogram therefore
+/// reports its one value exactly at every quantile.
 ///
 /// Serializable so streaming checkpoints can persist in-flight
 /// per-worker histograms and resume them exactly (bucket counts are
@@ -245,6 +262,91 @@ impl MetricsRegistry {
     }
 }
 
+/// One sample on a [`MetricsTimeline`]: the values of a set of live
+/// gauges/counters at one wall-clock offset from the run start.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineSample {
+    /// Milliseconds since the run started.
+    pub t_ms: u64,
+    /// `(name, value)` pairs, name-sorted.
+    pub values: Vec<(String, u64)>,
+}
+
+/// Encodes one timeline sample as its canonical JSON line (fixed field
+/// order, no trailing newline):
+///
+/// ```json
+/// {"t_ms":400,"values":{"progress.done":1200,"queue.depth":16}}
+/// ```
+pub fn encode_sample(sample: &TimelineSample) -> String {
+    let mut out = String::with_capacity(64 + sample.values.len() * 24);
+    let _ = write!(out, "{{\"t_ms\":{},\"values\":{{", sample.t_ms);
+    for (i, (name, value)) in sample.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::jsonl::push_json_string(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A time series of live pipeline state, sampled every
+/// `--metrics-interval-ms` by the campaign's telemetry thread.
+///
+/// Unlike [`MetricsRegistry`] (folded once, deterministically, at
+/// collection time), the timeline is **wall-clock shaped by design** —
+/// queue depths, resident cells, throughput and heartbeat ages as they
+/// actually evolved — and is therefore never part of determinism
+/// diffs and never normalized. Cloning is cheap and clones share
+/// state, so the campaign samples while the CLI holds the handle that
+/// later writes the JSONL file.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsTimeline {
+    inner: Arc<Mutex<Vec<TimelineSample>>>,
+}
+
+impl MetricsTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample; values are name-sorted so the wire format
+    /// is stable regardless of how the sampler assembled them.
+    pub fn push(&self, t_ms: u64, mut values: Vec<(String, u64)>) {
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        lock_recover(&self.inner).push(TimelineSample { t_ms, values });
+    }
+
+    /// A copy of every sample, in arrival order.
+    pub fn samples(&self) -> Vec<TimelineSample> {
+        lock_recover(&self.inner).clone()
+    }
+
+    /// Number of samples taken so far.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).len()
+    }
+
+    /// `true` when no sample has been taken.
+    pub fn is_empty(&self) -> bool {
+        lock_recover(&self.inner).is_empty()
+    }
+
+    /// Serializes the timeline as JSONL, one sample per line.
+    pub fn to_jsonl(&self) -> String {
+        let samples = lock_recover(&self.inner);
+        let mut out = String::with_capacity(samples.len() * 96);
+        for sample in samples.iter() {
+            out.push_str(&encode_sample(sample));
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,7 +407,12 @@ mod tests {
 
     #[test]
     fn empty_histogram_summary_is_zero() {
-        assert_eq!(Histogram::new().summary(), HistogramSummary::default());
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+        assert_eq!(h, Histogram::default());
+        // Normalizing an empty summary is still all zeros.
+        assert_eq!(h.summary().normalized(), HistogramSummary::default());
     }
 
     #[test]
@@ -313,11 +420,55 @@ mod tests {
         let mut h = Histogram::new();
         h.record(500);
         let s = h.summary();
+        assert_eq!(h.count(), 1);
         assert_eq!(s.count, 1);
         // Bucket upper would be 511; min(max) clamps it to the exact max.
         assert_eq!(s.p50_us, 500);
         assert_eq!(s.p95_us, 500);
         assert_eq!(s.max_us, 500);
+        // A recorded zero lands in bucket 0 and summarizes as zero.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.summary(), HistogramSummary { count: 1, p50_us: 0, p95_us: 0, max_us: 0 });
+    }
+
+    #[test]
+    fn merging_with_empty_is_the_identity() {
+        let mut single = Histogram::new();
+        single.record(500);
+        let reference = single.clone();
+        // empty.merge(single) == single.
+        let mut empty = Histogram::new();
+        empty.merge(&single);
+        assert_eq!(empty, reference);
+        assert_eq!(empty.summary(), reference.summary());
+        // single.merge(empty) == single.
+        single.merge(&Histogram::new());
+        assert_eq!(single, reference);
+        // empty.merge(empty) stays empty.
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // The documented scheme: 0 -> bucket 0; [2^(i-1), 2^i) -> bucket
+        // i; quantiles report the bucket's inclusive upper bound 2^i - 1.
+        for (value, upper) in [(1u64, 1u64), (2, 3), (3, 3), (4, 7), (7, 7), (8, 15), (1000, 1023)]
+        {
+            // A larger second sample keeps max-clamping from masking the
+            // p50 bucket bound of the probed value.
+            let mut probe = Histogram::new();
+            probe.record(value);
+            probe.record(upper + 1234);
+            assert_eq!(
+                probe.summary().p50_us,
+                upper,
+                "value {value} must report bucket upper bound {upper}"
+            );
+        }
     }
 
     #[test]
@@ -346,6 +497,43 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn timeline_samples_are_name_sorted_jsonl() {
+        let timeline = MetricsTimeline::new();
+        assert!(timeline.is_empty());
+        let sampler = timeline.clone();
+        sampler.push(
+            200,
+            vec![("queue.depth".to_owned(), 16), ("progress.done".to_owned(), 1200)],
+        );
+        sampler.push(400, vec![("progress.done".to_owned(), 2400)]);
+        assert_eq!(timeline.len(), 2, "clones share state");
+        let samples = timeline.samples();
+        assert_eq!(
+            samples[0].values,
+            vec![("progress.done".to_owned(), 1200), ("queue.depth".to_owned(), 16)],
+            "values are name-sorted on push"
+        );
+        let jsonl = timeline.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"t_ms\":200,\"values\":{\"progress.done\":1200,\"queue.depth\":16}}\n\
+             {\"t_ms\":400,\"values\":{\"progress.done\":2400}}\n"
+        );
+        // Samples round-trip through serde for programmatic consumers.
+        let json = serde_json::to_string(&samples).unwrap();
+        let back: Vec<TimelineSample> = serde_json::from_str(&json).unwrap();
+        assert_eq!(samples, back);
+    }
+
+    #[test]
+    fn timeline_encoding_escapes_names() {
+        let s = TimelineSample { t_ms: 7, values: vec![("a\"b\n".to_owned(), 1)] };
+        assert_eq!(encode_sample(&s), "{\"t_ms\":7,\"values\":{\"a\\\"b\\n\":1}}");
+        let empty = TimelineSample { t_ms: 0, values: Vec::new() };
+        assert_eq!(encode_sample(&empty), "{\"t_ms\":0,\"values\":{}}");
     }
 
     #[test]

@@ -100,6 +100,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips through itself so generic tooling (e.g. a JSON
+// diff) can deserialize arbitrary documents into the data model.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Looks up and deserializes one struct field from a map.
 ///
 /// # Errors
