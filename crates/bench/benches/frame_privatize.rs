@@ -1,0 +1,82 @@
+//! First-write privatization cost under the chunked COW frame
+//! directory: after a snapshot, touching one frame must copy one
+//! *chunk* (default 128 frames), not the whole 4096-frame world. The
+//! `monolithic_1_touch` baseline pins the pre-chunking behaviour by
+//! forcing a single world-sized chunk; the acceptance floor for this
+//! PR is a ≥5× win of the chunked path over it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvsim_mem::{MachineMemory, Mfn, DEFAULT_CHUNK_FRAMES};
+use std::hint::black_box;
+
+const FRAMES: usize = 4096;
+
+/// A fully materialized memory: every frame holds nonzero bytes, so a
+/// privatization pays the real per-frame copy, not the `Zero` shortcut.
+fn materialized(chunk_frames: usize) -> MachineMemory {
+    let mut mem = MachineMemory::with_chunk_frames(FRAMES, chunk_frames);
+    for f in 0..FRAMES {
+        mem.write(Mfn::new(f as u64).base(), &[1u8]).expect("frame in range");
+    }
+    mem
+}
+
+fn bench_chunked_one_touch(c: &mut Criterion) {
+    let base = materialized(DEFAULT_CHUNK_FRAMES);
+    c.bench_function("frame_privatize/chunked_1_touch", |b| {
+        b.iter(|| {
+            let mut snap = base.clone();
+            snap.write(Mfn::new(8).base(), black_box(&[0xAAu8; 64])).unwrap();
+            black_box(snap)
+        })
+    });
+}
+
+fn bench_monolithic_one_touch(c: &mut Criterion) {
+    // The pre-chunking baseline: one chunk spanning the whole world, so
+    // the first write after a snapshot privatizes all 4096 frames.
+    let base = materialized(FRAMES);
+    c.bench_function("frame_privatize/monolithic_1_touch", |b| {
+        b.iter(|| {
+            let mut snap = base.clone();
+            snap.write(Mfn::new(8).base(), black_box(&[0xAAu8; 64])).unwrap();
+            black_box(snap)
+        })
+    });
+}
+
+fn bench_chunked_clone(c: &mut Criterion) {
+    // The snapshot itself: a refcount sweep over the chunk directory
+    // (32 Arcs at the default chunk size), untouched by the write path.
+    let base = materialized(DEFAULT_CHUNK_FRAMES);
+    c.bench_function("frame_privatize/chunked_clone", |b| {
+        b.iter(|| black_box(base.clone()))
+    });
+}
+
+fn bench_scatter_touch(c: &mut Criterion) {
+    // Worst case for chunking: 8 writes scattered one per chunk region,
+    // privatizing 8 chunks. Still bounded by 8 × chunk, far below the
+    // monolithic world copy.
+    let base = materialized(DEFAULT_CHUNK_FRAMES);
+    let frames: Vec<Mfn> =
+        (0..8).map(|i| Mfn::new((i * DEFAULT_CHUNK_FRAMES * 4 + 3) as u64)).collect();
+    c.bench_function("frame_privatize/chunked_8_scattered", |b| {
+        b.iter(|| {
+            let mut snap = base.clone();
+            for f in &frames {
+                snap.write(f.base(), black_box(&[0x55u8; 64])).unwrap();
+            }
+            black_box(snap)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_chunked_one_touch,
+    bench_monolithic_one_touch,
+    bench_chunked_clone,
+    bench_scatter_touch
+);
+criterion_main!(benches);

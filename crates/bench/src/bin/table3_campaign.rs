@@ -25,18 +25,22 @@
 //!   in `BENCH_campaign.json` (rounded up to a multiple of 3; 0
 //!   disables; default ~100k for the full sweep, 0 with `--jobs`)
 //! * `--no-tlb` — disable the software TLB (the report must not change)
+//! * `--chunk-frames N` — COW chunk-directory granularity in frames
+//!   (the report must not change; rounded up to a power of two)
 //! * `--report-out FILE` — write the *normalized* report as JSON
 //!   (what CI diffs across jobs levels, TLB settings, and shardings)
 //! * `--trace-out FILE` — write the campaign's structured trace as JSONL
 //! * `--metrics-out FILE` — write the metrics-registry snapshot as JSON
 //! * `--json` — also print the full report as JSON
 
-use bench::{paper_campaign, synthetic_campaign};
-use hvsim::XenVersion;
+use bench::{attack_world, paper_campaign, synthetic_campaign};
+use hvsim::{MmuUpdate, PteFlags, XenVersion};
+use hvsim_mem::{MachineMemory, Mfn, DEFAULT_CHUNK_FRAMES};
+use hvsim_paging::PageTableEntry;
 use hvsim_obs::{to_jsonl, MetricsRegistry, Tracer, DEFAULT_FLIGHT_CAPACITY};
 use intrusion_core::{
-    Campaign, CampaignReport, CampaignThroughput, Mode, PhaseLatency, Shard, StreamBench,
-    StreamOutcome,
+    standard_world_factory, Campaign, CampaignReport, CampaignThroughput, Mode, PhaseLatency,
+    Shard, StreamBench, StreamOutcome,
 };
 use std::process::exit;
 use std::time::Instant;
@@ -53,6 +57,8 @@ struct Options {
     /// `None` = default policy (~100k for the full sweep, 0 otherwise).
     synthetic_cells: Option<u64>,
     no_tlb: bool,
+    /// COW chunk-directory granularity override (`None` = default).
+    chunk_frames: Option<usize>,
     report_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -67,6 +73,7 @@ fn parse_args() -> Options {
         shard: None,
         synthetic_cells: None,
         no_tlb: false,
+        chunk_frames: None,
         report_out: None,
         trace_out: None,
         metrics_out: None,
@@ -111,6 +118,13 @@ fn parse_args() -> Options {
                 }));
             }
             "--no-tlb" => opts.no_tlb = true,
+            "--chunk-frames" => {
+                let raw = value("--chunk-frames");
+                opts.chunk_frames = Some(raw.parse().ok().filter(|&c| c > 0).unwrap_or_else(|| {
+                    eprintln!("--chunk-frames needs a positive integer, got '{raw}'");
+                    exit(2);
+                }));
+            }
             "--report-out" => opts.report_out = Some(value("--report-out")),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
@@ -119,8 +133,8 @@ fn parse_args() -> Options {
                 eprintln!("unknown argument '{other}'");
                 eprintln!(
                     "usage: table3_campaign [--jobs N] [--stream] [--queue-depth N] \
-                     [--shard i/n] [--synthetic-cells N] [--no-tlb] [--report-out FILE] \
-                     [--trace-out FILE] [--metrics-out FILE] [--json]"
+                     [--shard i/n] [--synthetic-cells N] [--no-tlb] [--chunk-frames N] \
+                     [--report-out FILE] [--trace-out FILE] [--metrics-out FILE] [--json]"
                 );
                 exit(2);
             }
@@ -158,13 +172,15 @@ fn print_throughput(t: &CampaignThroughput) {
         t.total_hypercalls,
     );
     println!(
-        "  snapshot: {} frames, {} shared at peak, {} COW-copied   \
-         tlb: {} hits, {} misses",
+        "  snapshot: {} frames, {} shared at peak, {} COW-copied, {} chunks privatized   \
+         tlb: {} hits, {} misses, {} fill conflicts",
         t.snapshot.frames_total,
         t.snapshot.frames_shared,
         t.snapshot.frames_copied,
+        t.snapshot.chunks_privatized,
         t.tlb.hits,
         t.tlb.misses,
+        t.tlb.fill_conflicts,
     );
 }
 
@@ -232,6 +248,9 @@ fn configured_campaign(opts: &Options, workers: usize) -> Campaign {
     if opts.no_tlb {
         campaign = campaign.use_tlb(false);
     }
+    if let Some(chunk) = opts.chunk_frames {
+        campaign = campaign.world_factory(standard_world_factory(Some(chunk)));
+    }
     if let Some(depth) = opts.queue_depth {
         campaign = campaign.queue_depth(depth);
     }
@@ -268,14 +287,102 @@ fn print_stream(outcome: &StreamOutcome) {
 
 /// `BENCH_campaign.json`: the classic throughput sweep under `table3`,
 /// streamed-engine records under `stream`, the checkpoint-journal
-/// overhead measurement under `checkpoint`, and the always-on
-/// flight-recorder overhead measurement under `flight`.
+/// overhead measurement under `checkpoint`, the always-on
+/// flight-recorder overhead measurement under `flight`, and the
+/// memory-substrate microbenchmarks (chunked COW privatization and
+/// batched `mmu_update`) under `mem`.
 #[derive(serde::Serialize)]
 struct BenchFile {
     table3: Vec<CampaignThroughput>,
     stream: Vec<StreamBench>,
     checkpoint: Vec<CheckpointBench>,
     flight: Vec<FlightBench>,
+    mem: Vec<MemBench>,
+}
+
+/// Memory-substrate microbenchmarks, regenerated with the campaign so
+/// the committed numbers track the committed code.
+///
+/// * Privatization: after a COW snapshot of a fully-materialized
+///   `frames`-frame memory, the first write must copy one chunk, not
+///   the world. `monolithic_privatize_ns` pins the pre-chunking
+///   behaviour (one world-sized chunk); the chunked path is gated ≥5×
+///   faster.
+/// * Batching: one 64-entry `mmu_update` hypercall vs 64 singleton
+///   calls doing identical validation work (informational, not gated).
+#[derive(serde::Serialize)]
+struct MemBench {
+    frames: u64,
+    chunk_frames: u64,
+    /// ns per snapshot-clone + 1-frame write, default chunking.
+    chunked_privatize_ns: f64,
+    /// ns per snapshot-clone + 1-frame write, one world-sized chunk.
+    monolithic_privatize_ns: f64,
+    /// `monolithic_privatize_ns / chunked_privatize_ns` (gated ≥ 5).
+    privatize_speedup: f64,
+    batch_entries: u64,
+    /// ns to apply the 64 updates as 64 singleton hypercalls.
+    singleton_batch_ns: f64,
+    /// ns to apply the same 64 updates as one batched hypercall.
+    batched_batch_ns: f64,
+    /// `singleton_batch_ns / batched_batch_ns`.
+    batch_speedup: f64,
+}
+
+/// ns per COW-snapshot + single-frame write at a given chunk size,
+/// best-of-`rounds` to shrug off scheduler noise. Every frame of the
+/// base memory is materialized first so the privatization pays the
+/// real per-frame copy, not the all-zero shortcut.
+fn privatize_ns(frames: usize, chunk_frames: usize, iters: u32, rounds: u32) -> f64 {
+    let mut base = MachineMemory::with_chunk_frames(frames, chunk_frames);
+    for f in 0..frames {
+        base.write(Mfn::new(f as u64).base(), &[1u8]).expect("frame in range");
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for i in 0..iters {
+            let mut snap = base.clone();
+            snap.write_u64(Mfn::new(8).base().offset(8), u64::from(i)).expect("frame in range");
+            std::hint::black_box(&snap);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    best
+}
+
+/// ns to apply 64 valid L1 `mmu_update`s, either as one batched
+/// hypercall or as 64 singletons, best-of-`rounds`.
+fn mmu_batch_ns(batch: bool, iters: u32, rounds: u32) -> f64 {
+    const LINK: PteFlags = PteFlags::PRESENT.union(PteFlags::RW).union(PteFlags::USER);
+    let (mut world, attacker) = attack_world(XenVersion::V4_8, false);
+    let (hv, kernel) = world.hv_and_kernel_mut(attacker).expect("attacker has a kernel");
+    let (_, data, _) = kernel.alloc_heap_page(hv).expect("heap page allocates");
+    let l1 = kernel.tables().l1;
+    let updates: Vec<MmuUpdate> = (300..364)
+        .map(|i| {
+            MmuUpdate::normal(
+                l1.base().offset(i * 8).raw(),
+                PageTableEntry::new(data, LINK).raw(),
+            )
+        })
+        .collect();
+    let hv = world.hv_mut();
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..iters {
+            if batch {
+                hv.hc_mmu_update(attacker, &updates).expect("batch validates");
+            } else {
+                for u in &updates {
+                    hv.hc_mmu_update(attacker, std::slice::from_ref(u)).expect("update validates");
+                }
+            }
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    best
 }
 
 /// One flight-recorder overhead measurement: the synthetic grid
@@ -630,11 +737,49 @@ fn main() {
         });
     }
 
+    // Memory-substrate microbenchmarks: fast enough to run on every
+    // invocation, so the committed numbers always track the code.
+    let mem_entries = {
+        const FRAMES: usize = 4096;
+        eprintln!("measuring chunked-COW privatization and mmu_update batching ...");
+        let chunked = privatize_ns(FRAMES, DEFAULT_CHUNK_FRAMES, 200, 3);
+        let monolithic = privatize_ns(FRAMES, FRAMES, 200, 3);
+        let privatize_speedup = monolithic / chunked;
+        let singleton = mmu_batch_ns(false, 100, 3);
+        let batched = mmu_batch_ns(true, 100, 3);
+        println!(
+            "\nframe privatization (1 touched frame, {FRAMES}-frame world): \
+             {monolithic:.0} ns monolithic -> {chunked:.0} ns chunked ({privatize_speedup:.1}x)",
+        );
+        println!(
+            "mmu_update (64 entries): {singleton:.0} ns as singletons -> {batched:.0} ns \
+             batched ({:.2}x)",
+            singleton / batched,
+        );
+        assert!(
+            privatize_speedup >= 5.0,
+            "chunked COW privatization must be >= 5x faster than the monolithic \
+             baseline for a 1-touched-frame snapshot, measured {privatize_speedup:.1}x"
+        );
+        vec![MemBench {
+            frames: FRAMES as u64,
+            chunk_frames: DEFAULT_CHUNK_FRAMES as u64,
+            chunked_privatize_ns: chunked,
+            monolithic_privatize_ns: monolithic,
+            privatize_speedup,
+            batch_entries: 64,
+            singleton_batch_ns: singleton,
+            batched_batch_ns: batched,
+            batch_speedup: singleton / batched,
+        }]
+    };
+
     let bench = serde_json::to_string_pretty(&BenchFile {
         table3: entries,
         stream: stream_entries,
         checkpoint: checkpoint_entries,
         flight: flight_entries,
+        mem: mem_entries,
     })
     .expect("throughput serializes");
     match std::fs::write("BENCH_campaign.json", bench) {

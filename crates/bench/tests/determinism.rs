@@ -5,7 +5,9 @@
 
 use bench::{attack_world, paper_campaign, synthetic_campaign};
 use hvsim::XenVersion;
-use intrusion_core::{RandomizedCampaign, Shard, StreamReport, TargetRegion};
+use intrusion_core::{
+    standard_world_factory, RandomizedCampaign, Shard, StreamReport, TargetRegion,
+};
 use proptest::prelude::*;
 
 #[test]
@@ -39,6 +41,40 @@ fn paper_campaign_report_is_tlb_independent() {
         without_tlb.normalized().to_json().unwrap(),
         "the software TLB is an optimization: disabling it must not change the report"
     );
+}
+
+#[test]
+fn paper_campaign_report_is_chunk_size_independent() {
+    // The COW chunk directory is pure mechanism: shrinking chunks to a
+    // single frame (maximum privatization granularity) or inflating
+    // them past the whole world (the old monolithic behaviour) must
+    // not change a single byte of the normalized report.
+    let default_chunks = paper_campaign().run_with_jobs(2);
+    for chunk in [1usize, 1 << 20] {
+        let resized = paper_campaign()
+            .world_factory(standard_world_factory(Some(chunk)))
+            .run_with_jobs(2);
+        assert_eq!(
+            default_chunks.normalized().to_json().unwrap(),
+            resized.normalized().to_json().unwrap(),
+            "chunk size {chunk} must produce a byte-identical report"
+        );
+    }
+}
+
+#[test]
+fn paper_campaign_sharded_tlb_is_unobservable_across_worker_counts() {
+    // The acceptance matrix for the sharded TLB: jobs=1 vs jobs=8,
+    // each with the TLB on and off, all four byte-identical.
+    let reference = paper_campaign().run_with_jobs(1).normalized().to_json().unwrap();
+    for (jobs, tlb) in [(1, false), (8, true), (8, false)] {
+        let run = paper_campaign().use_tlb(tlb).run_with_jobs(jobs);
+        assert_eq!(
+            reference,
+            run.normalized().to_json().unwrap(),
+            "jobs={jobs} tlb={tlb} must match the jobs=1 tlb=on report"
+        );
+    }
 }
 
 #[test]

@@ -112,6 +112,26 @@ impl UseCase for SleepyCase {
     }
 }
 
+/// A quiet run — no TLB, one do-nothing cell — must still publish the
+/// perf counters added for the chunked-COW/sharded-TLB work as
+/// explicit zeros (the `campaign.chaos.*` convention), so a dashboard
+/// can tell "nothing happened" from "counter missing".
+#[test]
+fn quiet_runs_publish_explicit_zero_perf_counters() {
+    let registry = MetricsRegistry::new();
+    let _report = Campaign::new()
+        .with_use_case(Box::new(QuietCase))
+        .modes(&[Mode::Injection])
+        .use_tlb(false)
+        .metrics(registry.clone())
+        .run_with_jobs(1);
+    let snapshot = registry.snapshot();
+    let value = |name: &str| snapshot.counters.iter().find(|c| c.name == name).map(|c| c.value);
+    assert_eq!(value("tlb.fill_conflicts"), Some(0), "explicit zero, not absent");
+    assert_eq!(value("tlb.hits"), Some(0), "TLB off means zero hits, still published");
+    assert!(value("mem.chunks_privatized").is_some(), "published on every run");
+}
+
 /// The messy campaign of `fault_containment.rs`: two transient boot
 /// failures on `(4.6, injector)`, one panicking cell, one deadline
 /// overrun. Fresh failure counters per call.

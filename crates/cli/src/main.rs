@@ -26,7 +26,8 @@ use hvsim_obs::{
 };
 use intrusion_core::campaign::standard_world;
 use intrusion_core::{
-    read_header, ArbitraryAccessInjector, Campaign, CampaignReport, ChaosConfig, Mode,
+    read_header, standard_world_factory, ArbitraryAccessInjector, Campaign, CampaignReport,
+    ChaosConfig, Mode,
     RandomizedCampaign, RandomizedSummary, SecurityBenchmark, Shard, StreamReport, TargetRegion,
     UseCase,
 };
@@ -55,6 +56,10 @@ COMMANDS:
                    [--metrics-out <file>]  write the metrics snapshot as JSON
                    [--no-tlb]      disable the software TLB (escape hatch; reports
                                    are byte-identical either way, only slower)
+                   [--chunk-frames <n>]  COW chunk-directory granularity in
+                                   frames (escape hatch; rounded up to a power
+                                   of two, reports are byte-identical at any
+                                   size)
                    [--stream]      bounded-memory streaming engine: per-key summary
                                    instead of per-cell tables, O(workers + queue)
                                    resident memory, mergeable reports
@@ -239,6 +244,14 @@ fn configure_campaign(mut campaign: Campaign, p: &Parsed) -> Result<Campaign, St
     }
     if p.has_flag("no-tlb") {
         campaign = campaign.use_tlb(false);
+    }
+    if let Some(raw) = p.options.get("chunk-frames") {
+        let chunk: usize = raw
+            .parse()
+            .ok()
+            .filter(|&c| c > 0)
+            .ok_or("--chunk-frames must be a positive number".to_owned())?;
+        campaign = campaign.world_factory(standard_world_factory(Some(chunk)));
     }
     let trials: u64 =
         p.get_or("trials", "1").parse().map_err(|_| "--trials must be a number".to_owned())?;

@@ -58,6 +58,24 @@ pub fn standard_world(version: XenVersion, injector: bool) -> Result<World, Boot
         .build()
 }
 
+/// A [`WorldFactory`] building [`standard_world`]s with an explicit
+/// copy-on-write chunk size (`None` keeps the default). Chunking is a
+/// pure performance knob, so campaigns run through this factory must
+/// produce byte-identical normalized reports at any chunk size — CI
+/// drives the 1-frame worst case through it.
+pub fn standard_world_factory(chunk_frames: Option<usize>) -> WorldFactory {
+    Arc::new(move |version, injector| {
+        let mut builder = WorldBuilder::new(version)
+            .injector(injector)
+            .guest("xen2", 64)
+            .guest("guest03", 64);
+        if let Some(chunk) = chunk_frames {
+            builder = builder.chunk_frames(chunk);
+        }
+        builder.build()
+    })
+}
+
 /// Locks a mutex, recovering the data from a poisoned lock. Cell bodies
 /// run under their own panic boundary, so a poisoned slot can only mean
 /// a panic in the tiny bookkeeping window around it — the data is a
@@ -495,10 +513,12 @@ impl CampaignThroughput {
                 frames_total: report.cells().iter().map(|c| c.snapshot.frames_total).max().unwrap_or(0),
                 frames_shared: report.cells().iter().map(|c| c.snapshot.frames_shared).max().unwrap_or(0),
                 frames_copied: report.cells().iter().map(|c| c.snapshot.frames_copied).sum(),
+                chunks_privatized: report.cells().iter().map(|c| c.snapshot.chunks_privatized).sum(),
             },
             tlb: TlbStats {
                 hits: report.cells().iter().map(|c| c.tlb.hits).sum(),
                 misses: report.cells().iter().map(|c| c.tlb.misses).sum(),
+                fill_conflicts: report.cells().iter().map(|c| c.tlb.fill_conflicts).sum(),
             },
         }
     }

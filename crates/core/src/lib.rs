@@ -96,8 +96,8 @@ mod telemetry;
 pub use avi::{ThreatChain, ThreatLink, ThreatStage};
 pub use benchmark::{SecurityAttribute, SecurityBenchmark, VersionScore};
 pub use campaign::{
-    default_jobs, Campaign, CampaignConfig, CampaignReport, CampaignThroughput, CellResult,
-    LatencyBreakdown, PhaseLatency, PhaseTimings, WorldFactory,
+    default_jobs, standard_world_factory, Campaign, CampaignConfig, CampaignReport,
+    CampaignThroughput, CellResult, LatencyBreakdown, PhaseLatency, PhaseTimings, WorldFactory,
 };
 pub use chaos::{ChaosConfig, ChaosPolicy};
 pub use checkpoint::{read_header, FileSink, JournalHeader, JournalSink};

@@ -632,6 +632,12 @@ pub struct StreamReport {
     pub tlb_hits: u64,
     /// Software-TLB misses (config-dependent; zeroed by `normalized`).
     pub tlb_misses: u64,
+    /// COW chunk privatizations across all cell worlds
+    /// (schedule-dependent; zeroed by `normalized`).
+    pub chunks_privatized: u64,
+    /// Software-TLB fills that evicted a live entry (config-dependent;
+    /// zeroed by `normalized`).
+    pub tlb_fill_conflicts: u64,
     /// Per-phase latency summaries, completed vs degraded.
     pub latency: LatencyBreakdown,
     /// Aggregates per `use_case/version/mode` key.
@@ -669,6 +675,8 @@ impl StreamReport {
             frames_copied: 0,
             tlb_hits: 0,
             tlb_misses: 0,
+            chunks_privatized: 0,
+            tlb_fill_conflicts: 0,
             latency: LatencyBreakdown {
                 boot: norm_phase(&self.latency.boot),
                 inject: norm_phase(&self.latency.inject),
@@ -718,6 +726,8 @@ impl StreamReport {
             frames_copied: self.frames_copied + other.frames_copied,
             tlb_hits: self.tlb_hits + other.tlb_hits,
             tlb_misses: self.tlb_misses + other.tlb_misses,
+            chunks_privatized: self.chunks_privatized + other.chunks_privatized,
+            tlb_fill_conflicts: self.tlb_fill_conflicts + other.tlb_fill_conflicts,
             latency: LatencyBreakdown {
                 boot: merge_phase(&self.latency.boot, &other.latency.boot),
                 inject: merge_phase(&self.latency.inject, &other.latency.inject),
@@ -1026,6 +1036,8 @@ impl PartialFold {
         r.frames_copied += cell.snapshot.frames_copied;
         r.tlb_hits += cell.tlb.hits;
         r.tlb_misses += cell.tlb.misses;
+        r.chunks_privatized += cell.snapshot.chunks_privatized;
+        r.tlb_fill_conflicts += cell.tlb.fill_conflicts;
         let key = format!("{}/{}/{}", cell.use_case, cell.version, cell.mode);
         let summary = r.by_key.entry(key).or_default();
         summary.cells += 1;

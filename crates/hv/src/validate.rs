@@ -40,18 +40,38 @@ impl Hypervisor {
     pub fn hc_mmu_update(&mut self, dom: DomainId, updates: &[MmuUpdate]) -> Result<u64, HvError> {
         self.bump_hypercall_count();
         self.ensure_alive(dom)?;
+        // Whole-batch generation scope: every entry is still validated
+        // and applied one at a time (per-entry audit events, Xen's
+        // stop-at-first-failure semantics, prior updates left applied),
+        // but the page-table write generation — and the TLB flush it
+        // drives — advances once per batch instead of once per entry.
+        // Validation reads page tables physically, never through the
+        // TLB, so deferring the bump is invisible inside the batch.
+        self.mem.pt_batch_begin();
         let mut done = 0u64;
+        let mut first_err = None;
         for u in updates {
-            if u.ptr & 0x3 != 0 {
+            let entry = if u.ptr & 0x3 != 0 {
                 // Only MMU_NORMAL_PT_UPDATE is modelled.
-                return Err(HvError::Inval);
+                Err(HvError::Inval)
+            } else {
+                let table = Mfn::new(u.ptr >> 12);
+                let index = ((u.ptr & 0xfff) / 8) as usize;
+                self.validate_and_write_pte(dom, table, index, PageTableEntry::from_raw(u.val))
+            };
+            match entry {
+                Ok(()) => done += 1,
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
             }
-            let table = Mfn::new(u.ptr >> 12);
-            let index = ((u.ptr & 0xfff) / 8) as usize;
-            self.validate_and_write_pte(dom, table, index, PageTableEntry::from_raw(u.val))?;
-            done += 1;
         }
-        Ok(done)
+        self.mem.pt_batch_end();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(done),
+        }
     }
 
     /// `HYPERVISOR_update_va_mapping`: updates the L1 entry that maps
@@ -571,6 +591,105 @@ mod tests {
             .unwrap();
         let t = g.hv.guest_translate(g.dom, g.data_va).unwrap();
         assert_eq!(t.mfn, new_data);
+    }
+
+    #[test]
+    fn mmu_update_batch_bumps_generation_once() {
+        let mut g = boot(XenVersion::V4_8, false);
+        let updates: Vec<MmuUpdate> = (64..128)
+            .map(|i| {
+                let ptr = g.l1.base().offset(i as u64 * 8).raw();
+                MmuUpdate::normal(ptr, PageTableEntry::new(g.data, LINK).raw())
+            })
+            .collect();
+        let gen_before = g.hv.mem().pt_generation();
+        let pte_events = |g: &Guest| {
+            g.hv
+                .audit()
+                .events()
+                .iter()
+                .filter(|e| matches!(e, AuditEvent::PteWritten { .. }))
+                .count()
+        };
+        let events_before = pte_events(&g);
+        assert_eq!(g.hv.hc_mmu_update(g.dom, &updates).unwrap(), 64);
+        assert_eq!(
+            g.hv.mem().pt_generation(),
+            gen_before + 1,
+            "a 64-entry batch costs exactly one generation bump"
+        );
+        assert_eq!(pte_events(&g) - events_before, 64, "audit events stay per-entry");
+        // The entry-at-a-time loop applies the identical updates but
+        // pays one flush per entry — and lands on identical memory.
+        let mut s = boot(XenVersion::V4_8, false);
+        assert_eq!((s.l1, s.data), (g.l1, g.data), "boot is deterministic");
+        let gen_before = s.hv.mem().pt_generation();
+        for u in &updates {
+            s.hv.hc_mmu_update(s.dom, std::slice::from_ref(u)).unwrap();
+        }
+        assert_eq!(s.hv.mem().pt_generation(), gen_before + 64);
+        let mut batch_l1 = [0u8; hvsim_mem::PAGE_SIZE];
+        let mut single_l1 = [0u8; hvsim_mem::PAGE_SIZE];
+        g.hv.mem().read_frame(g.l1, &mut batch_l1).unwrap();
+        s.hv.mem().read_frame(s.l1, &mut single_l1).unwrap();
+        assert_eq!(batch_l1[..], single_l1[..]);
+    }
+
+    #[test]
+    fn mmu_update_batch_first_failure_matches_singleton_loop() {
+        // Entry 3 of 6 attempts a writable mapping of the L1 table
+        // itself — the core PV invariant violation, rejected by every
+        // build. The batch must stop there with the same error the
+        // singleton loop hits, leaving entries 0..3 applied.
+        let make_updates = |g: &Guest| -> Vec<MmuUpdate> {
+            (0..6u64)
+                .map(|i| {
+                    let ptr = g.l1.base().offset((100 + i) * 8).raw();
+                    let target = if i == 3 { g.l1 } else { g.data };
+                    MmuUpdate::normal(ptr, PageTableEntry::new(target, LINK).raw())
+                })
+                .collect()
+        };
+        let mut batch = boot(XenVersion::V4_8, false);
+        let updates = make_updates(&batch);
+        let batch_err = batch.hv.hc_mmu_update(batch.dom, &updates).unwrap_err();
+        let rejected = |g: &Guest| {
+            g.hv
+                .audit()
+                .events()
+                .iter()
+                .filter(|e| matches!(e, AuditEvent::ValidationRejected { .. }))
+                .count()
+        };
+        assert_eq!(rejected(&batch), 1, "exactly the failing entry is audited as rejected");
+
+        let mut single = boot(XenVersion::V4_8, false);
+        let mut applied = 0u64;
+        let mut single_err = None;
+        for u in &updates {
+            match single.hv.hc_mmu_update(single.dom, std::slice::from_ref(u)) {
+                Ok(n) => applied += n,
+                Err(e) => {
+                    single_err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(applied, 3, "updates before the failure stay applied");
+        assert_eq!(batch_err, single_err.unwrap(), "identical first-failure error");
+        // Identical resulting page-table bytes: prior updates applied,
+        // the rejected entry and everything after it not.
+        let mut batch_l1 = [0u8; hvsim_mem::PAGE_SIZE];
+        let mut single_l1 = [0u8; hvsim_mem::PAGE_SIZE];
+        batch.hv.mem().read_frame(batch.l1, &mut batch_l1).unwrap();
+        single.hv.mem().read_frame(single.l1, &mut single_l1).unwrap();
+        assert_eq!(batch_l1[..], single_l1[..]);
+        // A misaligned pointer mid-batch also matches the singleton loop.
+        let bad = MmuUpdate::normal(batch.l1.base().offset(106 * 8).raw() | 0x2, 0);
+        let e1 = batch.hv.hc_mmu_update(batch.dom, &[bad]).unwrap_err();
+        let e2 = single.hv.hc_mmu_update(single.dom, &[bad]).unwrap_err();
+        assert_eq!(e1, HvError::Inval);
+        assert_eq!(e1, e2);
     }
 
     #[test]

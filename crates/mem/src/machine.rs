@@ -1,25 +1,40 @@
 //! The byte-accurate machine memory array.
 //!
-//! Frames are stored copy-on-write at **two levels**: the frame and
-//! accounting vectors themselves sit behind an [`Arc`], so cloning a
-//! [`MachineMemory`] is two reference-count bumps — O(1), no matter how
-//! much memory is installed. The first mutation after a clone
-//! privatizes the vector ([`Arc::make_mut`]; one pointer copy per
-//! frame), and each materialized frame is itself an
+//! Frames are stored copy-on-write at **two levels**: frames (and their
+//! `PageInfo` accounting) are grouped into fixed-size chunks, each chunk
+//! behind an [`Arc`], and the image holds a small directory of chunk
+//! pointers. Cloning a [`MachineMemory`] is one reference-count bump per
+//! chunk — O(installed frames / chunk size), 32 bumps for the standard
+//! 4096-frame world. The first mutation after a clone privatizes only
+//! the *touched chunk* ([`Arc::make_mut`]; one pointer copy per frame in
+//! that chunk), and each materialized frame is itself an
 //! `Arc<[u8; PAGE_SIZE]>` shared until written, so a snapshot still
 //! costs only O(touched pages) of real memory over its lifetime — the
-//! behaviour a real MMU gives fork-style snapshots.
+//! behaviour a real MMU gives fork-style snapshots. Before chunking,
+//! the first write after a clone copied the entire frame-pointer vector
+//! (O(installed frames) per campaign cell); the `frame_privatize` bench
+//! measures the difference.
 //!
 //! Writes also maintain the **page-table write generation**: a counter
 //! bumped only when a store lands in a frame whose [`PageInfo`] type is
 //! one of the page-table types (or when such a frame's accounting is
 //! mutated, which covers demote-then-write sequences). The software TLB
 //! in `hvsim-paging` keys its validity off this counter, so data writes
-//! never flush cached translations while PTE writes always do.
+//! never flush cached translations while PTE writes always do. Batched
+//! hypercalls (`mmu_update`) can defer the bump with
+//! [`MachineMemory::pt_batch_begin`] / [`MachineMemory::pt_batch_end`]
+//! so a whole batch of PTE stores costs one TLB invalidation instead of
+//! one per entry.
 
 use crate::{MemError, Mfn, PageInfo, PhysAddr, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Frames per chunk when no explicit chunk size is configured. 128
+/// frames keeps the directory for the standard 4096-frame world at 32
+/// entries while capping the cost of a first-write privatization at a
+/// 128-pointer copy.
+pub const DEFAULT_CHUNK_FRAMES: usize = 128;
 
 /// One machine frame's contents.
 ///
@@ -44,6 +59,17 @@ impl FrameData {
     }
 }
 
+/// A fixed run of frames plus their accounting, shared whole between
+/// snapshots until either image mutates a frame inside it. Contents and
+/// accounting live in the same chunk so one privatization covers both —
+/// a PTE write needs the frame bytes *and* (via the generation check)
+/// the `PageInfo`, and splitting them would double the `Arc` traffic.
+#[derive(Clone, Debug)]
+struct Chunk {
+    frames: Vec<FrameData>,
+    info: Vec<PageInfo>,
+}
+
 /// Copy-on-write accounting for one memory image, reported per campaign
 /// cell so `BENCH_campaign.json` shows how much of a snapshot stayed
 /// shared.
@@ -60,6 +86,10 @@ pub struct SnapshotStats {
     /// cloned (zero-frame materializations are not copies and are not
     /// counted).
     pub frames_copied: u64,
+    /// Chunks of the frame directory this image privatized since it was
+    /// cloned — each is one O(chunk) pointer copy, the unit cost the
+    /// chunked directory caps first-write privatization at.
+    pub chunks_privatized: u64,
 }
 
 /// All installed machine memory: frame contents plus per-frame accounting.
@@ -68,47 +98,100 @@ pub struct SnapshotStats {
 /// hypercalls, guests, the intrusion injector) reads and mutates.
 #[derive(Debug)]
 pub struct MachineMemory {
-    frames: Arc<Vec<FrameData>>,
-    info: Arc<Vec<PageInfo>>,
+    chunks: Vec<Arc<Chunk>>,
+    /// Frames per chunk; always a power of two so frame→chunk indexing
+    /// is a shift and a mask.
+    chunk_frames: usize,
+    chunk_shift: u32,
+    frames: u64,
     /// Bumped on every store to (or accounting mutation of) a
     /// page-table-typed frame; see the module docs.
     pt_gen: u64,
-    /// Copy-on-write breaks since this image was created or cloned.
+    /// Nesting depth of open [`Self::pt_batch_begin`] scopes. While
+    /// non-zero, page-table mutations mark `pt_batch_dirty` instead of
+    /// bumping `pt_gen`.
+    pt_batch_depth: u32,
+    /// A page-table mutation happened inside the current batch; the
+    /// outermost [`Self::pt_batch_end`] folds it into one bump.
+    pt_batch_dirty: bool,
+    /// Copy-on-write frame breaks since this image was created or cloned.
     frames_copied: u64,
+    /// Chunk privatizations since this image was created or cloned.
+    chunks_privatized: u64,
 }
 
 impl Clone for MachineMemory {
-    /// A copy-on-write snapshot: two reference-count bumps, independent
-    /// of installed memory size. Frame contents and accounting are
-    /// shared until either image mutates them. The clone starts its own
-    /// [`SnapshotStats::frames_copied`] count at zero; the page-table
-    /// write generation carries over so cached translations keyed
-    /// against the parent stay comparable.
+    /// A copy-on-write snapshot: one reference-count bump per chunk,
+    /// independent of installed memory size beyond the (small) chunk
+    /// directory. Frame contents and accounting are shared until either
+    /// image mutates them. The clone starts its own
+    /// [`SnapshotStats::frames_copied`] / `chunks_privatized` counts at
+    /// zero; the page-table write generation carries over so cached
+    /// translations keyed against the parent stay comparable. Any open
+    /// pt-batch scope belongs to the image being cloned, not the clone.
     fn clone(&self) -> Self {
         Self {
-            frames: Arc::clone(&self.frames),
-            info: Arc::clone(&self.info),
+            chunks: self.chunks.clone(),
+            chunk_frames: self.chunk_frames,
+            chunk_shift: self.chunk_shift,
+            frames: self.frames,
             pt_gen: self.pt_gen,
+            pt_batch_depth: 0,
+            pt_batch_dirty: false,
             frames_copied: 0,
+            chunks_privatized: 0,
         }
     }
 }
 
 impl MachineMemory {
     /// Creates a machine with `frames` installed 4 KiB frames, all zeroed
-    /// and unowned.
+    /// and unowned, grouped into [`DEFAULT_CHUNK_FRAMES`]-frame chunks.
     pub fn new(frames: usize) -> Self {
+        Self::with_chunk_frames(frames, DEFAULT_CHUNK_FRAMES)
+    }
+
+    /// Creates a machine with an explicit copy-on-write chunk size.
+    /// `chunk_frames` is rounded up to a power of two and clamped to at
+    /// least 1; a chunk size of 1 degenerates to per-frame directory
+    /// entries (the worst case CI uses to prove chunking is
+    /// unobservable), and a chunk size ≥ `frames` reproduces the old
+    /// monolithic-vector behaviour (the `frame_privatize` bench
+    /// baseline).
+    pub fn with_chunk_frames(frames: usize, chunk_frames: usize) -> Self {
+        let chunk_frames = chunk_frames.max(1).next_power_of_two();
+        let chunk_shift = chunk_frames.trailing_zeros();
+        let chunks = (0..frames)
+            .step_by(chunk_frames)
+            .map(|start| {
+                let len = chunk_frames.min(frames - start);
+                Arc::new(Chunk {
+                    frames: (0..len).map(|_| FrameData::Zero).collect(),
+                    info: vec![PageInfo::new(); len],
+                })
+            })
+            .collect();
         Self {
-            frames: Arc::new((0..frames).map(|_| FrameData::Zero).collect()),
-            info: Arc::new(vec![PageInfo::new(); frames]),
+            chunks,
+            chunk_frames,
+            chunk_shift,
+            frames: frames as u64,
             pt_gen: 0,
+            pt_batch_depth: 0,
+            pt_batch_dirty: false,
             frames_copied: 0,
+            chunks_privatized: 0,
         }
+    }
+
+    /// Frames per copy-on-write chunk.
+    pub fn chunk_frames(&self) -> usize {
+        self.chunk_frames
     }
 
     /// Number of installed frames.
     pub fn frame_count(&self) -> u64 {
-        self.frames.len() as u64
+        self.frames
     }
 
     /// Total installed bytes.
@@ -132,6 +215,28 @@ impl MachineMemory {
         }
     }
 
+    /// Splits a frame index into (chunk index, offset within chunk).
+    #[inline]
+    fn chunk_of(&self, idx: usize) -> (usize, usize) {
+        (idx >> self.chunk_shift, idx & (self.chunk_frames - 1))
+    }
+
+    /// Shared view of one frame's contents.
+    #[inline]
+    fn frame(&self, idx: usize) -> &FrameData {
+        let (c, o) = self.chunk_of(idx);
+        &self.chunks[c].frames[o]
+    }
+
+    /// Privatizes chunk `c` if it is still shared with a sibling image,
+    /// counting the break; the returned chunk is exclusively owned.
+    fn chunk_mut(&mut self, c: usize) -> &mut Chunk {
+        if Arc::strong_count(&self.chunks[c]) > 1 {
+            self.chunks_privatized += 1;
+        }
+        Arc::make_mut(&mut self.chunks[c])
+    }
+
     /// The page-table write generation. Translation caches compare this
     /// against the value they last observed: unchanged means no
     /// page-table-typed frame was written (or re-accounted) since, so
@@ -140,24 +245,85 @@ impl MachineMemory {
         self.pt_gen
     }
 
+    /// Opens a batched-mutation scope: page-table writes inside it are
+    /// folded into a single generation bump at the matching
+    /// [`Self::pt_batch_end`], so an N-entry `mmu_update` costs one TLB
+    /// invalidation instead of N. Scopes nest; only the outermost end
+    /// bumps. Callers must not translate through the TLB between the
+    /// deferred writes and the end of the scope.
+    pub fn pt_batch_begin(&mut self) {
+        self.pt_batch_depth += 1;
+    }
+
+    /// Closes a batched-mutation scope, applying the deferred generation
+    /// bump (if any page-table frame was mutated inside it) once.
+    pub fn pt_batch_end(&mut self) {
+        debug_assert!(self.pt_batch_depth > 0, "pt_batch_end without begin");
+        self.pt_batch_depth = self.pt_batch_depth.saturating_sub(1);
+        if self.pt_batch_depth == 0 && self.pt_batch_dirty {
+            self.pt_batch_dirty = false;
+            self.pt_gen = self.pt_gen.wrapping_add(1);
+        }
+    }
+
+    /// Bumps the page-table write generation (or defers the bump to the
+    /// enclosing batch scope).
+    fn bump_pt_gen(&mut self) {
+        if self.pt_batch_depth > 0 {
+            self.pt_batch_dirty = true;
+        } else {
+            self.pt_gen = self.pt_gen.wrapping_add(1);
+        }
+    }
+
+    /// Bumps the page-table write generation if frame `idx` is currently
+    /// typed as a page table.
+    fn note_pt_mutation(&mut self, idx: usize) {
+        let (c, o) = self.chunk_of(idx);
+        if self.chunks[c].info[o].page_type().is_page_table() {
+            self.bump_pt_gen();
+        }
+    }
+
     /// Copy-on-write accounting for this image.
     pub fn snapshot_stats(&self) -> SnapshotStats {
-        // While the whole frame vector is still shared (no mutation
-        // since the clone), every materialized frame is shared with the
-        // sibling image even though its own refcount is untouched.
-        let vec_shared = Arc::strong_count(&self.frames) > 1;
-        SnapshotStats {
-            frames_total: self.frame_count(),
-            frames_shared: self
+        // While a chunk is still shared whole (no mutation inside it
+        // since the clone), every materialized frame in it is shared
+        // with the sibling image even though its own refcount is
+        // untouched.
+        let mut frames_shared = 0u64;
+        for chunk in &self.chunks {
+            let chunk_shared = Arc::strong_count(chunk) > 1;
+            frames_shared += chunk
                 .frames
                 .iter()
                 .filter(|f| match f {
-                    FrameData::Data(a) => vec_shared || Arc::strong_count(a) > 1,
+                    FrameData::Data(a) => chunk_shared || Arc::strong_count(a) > 1,
                     FrameData::Zero => false,
                 })
-                .count() as u64,
-            frames_copied: self.frames_copied,
+                .count() as u64;
         }
+        SnapshotStats {
+            frames_total: self.frame_count(),
+            frames_shared,
+            frames_copied: self.frames_copied,
+            chunks_privatized: self.chunks_privatized,
+        }
+    }
+
+    /// Frames currently holding materialized (non-zero-representation)
+    /// contents. Zero writes into zero frames must not grow this — the
+    /// regression guard for the zero-write fast path.
+    pub fn materialized_frames(&self) -> u64 {
+        self.chunks
+            .iter()
+            .map(|c| {
+                c.frames
+                    .iter()
+                    .filter(|f| matches!(f, FrameData::Data(_)))
+                    .count() as u64
+            })
+            .sum()
     }
 
     /// A clone that materializes a private copy of every frame — the
@@ -165,42 +331,55 @@ impl MachineMemory {
     /// `snapshot_cow` bench compares reference-count cloning against.
     pub fn deep_copy(&self) -> Self {
         Self {
-            frames: Arc::new(
-                self.frames
-                    .iter()
-                    .map(|f| match f {
-                        FrameData::Zero => FrameData::Zero,
-                        FrameData::Data(b) => FrameData::Data(Arc::new(**b)),
+            chunks: self
+                .chunks
+                .iter()
+                .map(|chunk| {
+                    Arc::new(Chunk {
+                        frames: chunk
+                            .frames
+                            .iter()
+                            .map(|f| match f {
+                                FrameData::Zero => FrameData::Zero,
+                                FrameData::Data(b) => FrameData::Data(Arc::new(**b)),
+                            })
+                            .collect(),
+                        info: chunk.info.clone(),
                     })
-                    .collect(),
-            ),
-            info: Arc::new(self.info.as_ref().clone()),
+                })
+                .collect(),
+            chunk_frames: self.chunk_frames,
+            chunk_shift: self.chunk_shift,
+            frames: self.frames,
             pt_gen: self.pt_gen,
+            pt_batch_depth: 0,
+            pt_batch_dirty: false,
             frames_copied: 0,
-        }
-    }
-
-    /// Bumps the page-table write generation if frame `idx` is currently
-    /// typed as a page table.
-    fn note_pt_mutation(&mut self, idx: usize) {
-        if self.info[idx].page_type().is_page_table() {
-            self.pt_gen = self.pt_gen.wrapping_add(1);
+            chunks_privatized: 0,
         }
     }
 
     /// Mutable view of one frame's bytes, materializing zero frames and
     /// breaking copy-on-write sharing as needed. The first mutation
-    /// after a clone also privatizes the frame vector itself (which
-    /// bumps every materialized frame's refcount, keeping the per-frame
-    /// sharing accounting intact).
+    /// after a clone also privatizes the frame's chunk (which bumps
+    /// every materialized frame's refcount in that chunk, keeping the
+    /// per-frame sharing accounting intact); sibling chunks stay shared.
     fn frame_bytes_mut(&mut self, idx: usize) -> &mut [u8; PAGE_SIZE] {
-        let frames = Arc::make_mut(&mut self.frames);
-        if let FrameData::Data(arc) = &frames[idx] {
-            if Arc::strong_count(arc) > 1 {
+        let (c, o) = self.chunk_of(idx);
+        // A frame is a COW copy if its own Arc is shared, or if the
+        // whole chunk is still shared (privatizing the chunk bumps every
+        // materialized frame's refcount, so both cases mean a sibling
+        // can still read the old contents).
+        let chunk_shared = Arc::strong_count(&self.chunks[c]) > 1;
+        if chunk_shared {
+            self.chunks_privatized += 1;
+        }
+        if let FrameData::Data(arc) = &self.chunks[c].frames[o] {
+            if chunk_shared || Arc::strong_count(arc) > 1 {
                 self.frames_copied += 1;
             }
         }
-        let slot = &mut frames[idx];
+        let slot = &mut Arc::make_mut(&mut self.chunks[c]).frames[o];
         if matches!(slot, FrameData::Zero) {
             *slot = FrameData::Data(Arc::new([0u8; PAGE_SIZE]));
         }
@@ -217,7 +396,8 @@ impl MachineMemory {
     /// Returns [`MemError::BadFrame`] for uninstalled frames.
     pub fn info(&self, mfn: Mfn) -> Result<&PageInfo, MemError> {
         let idx = self.check_frame(mfn)?;
-        Ok(&self.info[idx])
+        let (c, o) = self.chunk_of(idx);
+        Ok(&self.chunks[c].info[o])
     }
 
     /// Mutable accounting record for a frame.
@@ -234,7 +414,8 @@ impl MachineMemory {
     pub fn info_mut(&mut self, mfn: Mfn) -> Result<&mut PageInfo, MemError> {
         let idx = self.check_frame(mfn)?;
         self.note_pt_mutation(idx);
-        Ok(&mut Arc::make_mut(&mut self.info)[idx])
+        let (c, o) = self.chunk_of(idx);
+        Ok(&mut self.chunk_mut(c).info[o])
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -260,7 +441,7 @@ impl MachineMemory {
             let frame = cursor.frame();
             let off = cursor.page_offset();
             let chunk = (PAGE_SIZE - off).min(buf.len() - filled);
-            match self.frames[frame.raw() as usize].bytes() {
+            match self.frame(frame.raw() as usize).bytes() {
                 Some(bytes) => buf[filled..filled + chunk].copy_from_slice(&bytes[off..off + chunk]),
                 None => buf[filled..filled + chunk].fill(0),
             }
@@ -271,6 +452,12 @@ impl MachineMemory {
     }
 
     /// Writes `buf` starting at `addr`.
+    ///
+    /// All-zero data landing in a still-unmaterialized zero frame is a
+    /// no-op: the frame keeps its zero representation (no 4 KiB
+    /// allocation, no chunk privatization) and — since the contents are
+    /// bit-for-bit unchanged — no page-table generation bump, so cached
+    /// walks stay valid.
     ///
     /// # Errors
     ///
@@ -291,9 +478,13 @@ impl MachineMemory {
             let idx = frame.raw() as usize;
             let off = cursor.page_offset();
             let chunk = (PAGE_SIZE - off).min(buf.len() - written);
-            self.note_pt_mutation(idx);
-            self.frame_bytes_mut(idx)[off..off + chunk]
-                .copy_from_slice(&buf[written..written + chunk]);
+            let src = &buf[written..written + chunk];
+            let zero_noop =
+                matches!(self.frame(idx), FrameData::Zero) && src.iter().all(|&b| b == 0);
+            if !zero_noop {
+                self.note_pt_mutation(idx);
+                self.frame_bytes_mut(idx)[off..off + chunk].copy_from_slice(src);
+            }
             written += chunk;
             cursor = cursor.offset(chunk as u64);
         }
@@ -326,14 +517,20 @@ impl MachineMemory {
     ///
     /// The frame reverts to the unmaterialized zero representation, so
     /// a snapshot's untouched zero frames stay free after cloning.
+    /// Zeroing a frame that is already in the zero representation is a
+    /// complete no-op (no privatization, no generation bump).
     ///
     /// # Errors
     ///
     /// Returns [`MemError::BadFrame`] for uninstalled frames.
     pub fn zero_frame(&mut self, mfn: Mfn) -> Result<(), MemError> {
         let idx = self.check_frame(mfn)?;
+        if matches!(self.frame(idx), FrameData::Zero) {
+            return Ok(());
+        }
         self.note_pt_mutation(idx);
-        Arc::make_mut(&mut self.frames)[idx] = FrameData::Zero;
+        let (c, o) = self.chunk_of(idx);
+        self.chunk_mut(c).frames[o] = FrameData::Zero;
         Ok(())
     }
 
@@ -344,7 +541,7 @@ impl MachineMemory {
     /// Returns [`MemError::BadFrame`] for uninstalled frames.
     pub fn read_frame(&self, mfn: Mfn, out: &mut [u8; PAGE_SIZE]) -> Result<(), MemError> {
         let idx = self.check_frame(mfn)?;
-        match self.frames[idx].bytes() {
+        match self.frame(idx).bytes() {
             Some(bytes) => out.copy_from_slice(bytes),
             None => out.fill(0),
         }
@@ -435,6 +632,7 @@ mod tests {
         assert_eq!(stats.frames_total, 8);
         assert_eq!(stats.frames_shared, 2, "both materialized frames are shared");
         assert_eq!(stats.frames_copied, 0, "nothing written through the clone yet");
+        assert_eq!(stats.chunks_privatized, 0);
         // The parent sees the same sharing; its copy counter reflects
         // only its own post-clone writes.
         assert_eq!(parent.snapshot_stats().frames_shared, 2);
@@ -455,6 +653,44 @@ mod tests {
         let stats = child.snapshot_stats();
         assert_eq!(stats.frames_copied, 1, "only the written frame was privatized");
         assert_eq!(stats.frames_shared, 1, "frame 1 is still shared");
+    }
+
+    #[test]
+    fn first_write_privatizes_one_chunk_not_the_directory() {
+        // 1024 frames in 64-frame chunks: a single write after a clone
+        // must break exactly one chunk, leaving the other 15 shared.
+        let mut parent = MachineMemory::with_chunk_frames(1024, 64);
+        parent.write(Mfn::new(0).base(), b"a").unwrap();
+        parent.write(Mfn::new(512).base(), b"b").unwrap();
+        let mut child = parent.clone();
+        child.write_u64(Mfn::new(3).base(), 7).unwrap();
+        let stats = child.snapshot_stats();
+        assert_eq!(stats.chunks_privatized, 1, "one O(chunk) copy, not O(frames)");
+        // Frame 512's chunk was untouched, so its frame is still shared
+        // through the shared chunk Arc.
+        assert!(stats.frames_shared >= 1);
+        // A second write into the same chunk privatizes nothing new.
+        child.write_u64(Mfn::new(5).base(), 8).unwrap();
+        assert_eq!(child.snapshot_stats().chunks_privatized, 1);
+        // A write into a different chunk breaks exactly one more.
+        child.write_u64(Mfn::new(512).base(), 9).unwrap();
+        assert_eq!(child.snapshot_stats().chunks_privatized, 2);
+    }
+
+    #[test]
+    fn chunk_size_one_and_oversized_chunks_behave_identically() {
+        for chunk in [1usize, 2, 8, 4096] {
+            let mut parent = MachineMemory::with_chunk_frames(16, chunk);
+            parent.write(PhysAddr::new(0), b"seed").unwrap();
+            let mut child = parent.clone();
+            child.write(Mfn::new(9).base(), b"child").unwrap();
+            let mut buf = [0u8; 5];
+            child.read(Mfn::new(9).base(), &mut buf).unwrap();
+            assert_eq!(&buf, b"child");
+            let mut out = [0u8; PAGE_SIZE];
+            parent.read_frame(Mfn::new(9), &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 0), "chunk={chunk}: parent unaffected");
+        }
     }
 
     #[test]
@@ -479,6 +715,45 @@ mod tests {
         child.zero_frame(Mfn::new(2)).unwrap();
         child.read_frame(Mfn::new(2), &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zero_writes_do_not_materialize_zero_frames() {
+        let mut mem = MachineMemory::new(4);
+        // All-zero stores into never-touched frames keep the zero
+        // representation: no 4 KiB allocation for a no-op write.
+        mem.write_u64(PhysAddr::new(8), 0).unwrap();
+        mem.write(PhysAddr::new(100), &[0u8; 200]).unwrap();
+        let span = vec![0u8; PAGE_SIZE + 64];
+        mem.write(PhysAddr::new(PAGE_SIZE as u64 - 32), &span).unwrap();
+        assert_eq!(mem.materialized_frames(), 0);
+        // ...and a cloned image privatizes nothing for them either.
+        let mut child = mem.clone();
+        child.write_u64(PhysAddr::new(16), 0).unwrap();
+        let stats = child.snapshot_stats();
+        assert_eq!(stats.chunks_privatized, 0);
+        assert_eq!(child.materialized_frames(), 0);
+        // A non-zero store still materializes exactly the touched frame,
+        // and zero stores into materialized frames land normally.
+        child.write_u64(PhysAddr::new(8), 0x4141).unwrap();
+        assert_eq!(child.materialized_frames(), 1);
+        child.write_u64(PhysAddr::new(8), 0).unwrap();
+        assert_eq!(child.read_u64(PhysAddr::new(8)).unwrap(), 0);
+        assert_eq!(child.materialized_frames(), 1);
+    }
+
+    #[test]
+    fn zero_write_into_zero_pt_frame_keeps_the_generation() {
+        let mut mem = MachineMemory::new(4);
+        mem.info_mut(Mfn::new(1)).unwrap().assign(DomainId::new(1), PageType::L1PageTable);
+        let before = mem.pt_generation();
+        // The frame is unmaterialized and the store is all zeroes: the
+        // contents are bit-for-bit unchanged, so cached walks stay valid.
+        mem.write_u64(Mfn::new(1).base(), 0).unwrap();
+        assert_eq!(mem.pt_generation(), before);
+        // Zeroing an already-zero frame is equally silent.
+        mem.zero_frame(Mfn::new(1)).unwrap();
+        assert_eq!(mem.pt_generation(), before);
     }
 
     #[test]
@@ -528,6 +803,38 @@ mod tests {
         let before = mem.pt_generation();
         mem.info_mut(Mfn::new(2)).unwrap().assign(DomainId::new(1), PageType::Writable);
         assert_eq!(mem.pt_generation(), before);
+    }
+
+    #[test]
+    fn pt_batch_folds_many_bumps_into_one() {
+        let mut mem = MachineMemory::new(8);
+        for i in 0..4 {
+            mem.info_mut(Mfn::new(i)).unwrap().assign(DomainId::new(1), PageType::L1PageTable);
+        }
+        let before = mem.pt_generation();
+        mem.pt_batch_begin();
+        for i in 0..4u64 {
+            mem.write_u64(Mfn::new(i).base(), 0x1000 + i).unwrap();
+            mem.write_u64(Mfn::new(i).base().offset(8), 0x2000 + i).unwrap();
+            assert_eq!(mem.pt_generation(), before, "bumps are deferred inside the batch");
+        }
+        mem.pt_batch_end();
+        assert_eq!(mem.pt_generation(), before + 1, "one bump per batch, not per store");
+        // A batch that never touches a page table bumps nothing.
+        let before = mem.pt_generation();
+        mem.pt_batch_begin();
+        mem.write_u64(Mfn::new(6).base(), 0xdada).unwrap();
+        mem.pt_batch_end();
+        assert_eq!(mem.pt_generation(), before);
+        // Nested scopes fold into the outermost end.
+        let before = mem.pt_generation();
+        mem.pt_batch_begin();
+        mem.pt_batch_begin();
+        mem.write_u64(Mfn::new(0).base(), 0xbeef).unwrap();
+        mem.pt_batch_end();
+        assert_eq!(mem.pt_generation(), before, "inner end must not bump");
+        mem.pt_batch_end();
+        assert_eq!(mem.pt_generation(), before + 1);
     }
 
     proptest! {
@@ -595,6 +902,49 @@ mod tests {
             }
             for (&addr, &value) in &child_model {
                 prop_assert_eq!(child.read_u64(PhysAddr::new(addr)).unwrap(), value);
+            }
+        }
+
+        /// Chunked-COW equivalence: arbitrary interleavings of clones
+        /// and writes, across chunk boundaries and at every chunk size,
+        /// read back exactly like a flat deep-copied reference image.
+        #[test]
+        fn prop_chunked_cow_matches_flat_reference(
+            chunk_frames in prop_oneof![Just(1usize), Just(2), Just(4), Just(64)],
+            ops in proptest::collection::vec(
+                // (clone source image, write target image, addr, data)
+                (any::<u16>(), any::<u16>(), 0u64..(8 * PAGE_SIZE as u64 - 24),
+                 proptest::collection::vec(any::<u8>(), 1..24)),
+                1..32,
+            ),
+            interleave in proptest::collection::vec(any::<bool>(), 1..32),
+        ) {
+            const FRAMES: usize = 8;
+            let mut images = vec![MachineMemory::with_chunk_frames(FRAMES, chunk_frames)];
+            // The reference model: a plain flat byte image per snapshot,
+            // deep-copied on clone — trivially correct COW semantics.
+            let mut models = vec![vec![0u8; FRAMES * PAGE_SIZE]];
+            for (i, (clone_src, write_tgt, addr, data)) in ops.iter().enumerate() {
+                let do_clone = interleave.get(i).copied().unwrap_or(false);
+                if do_clone && images.len() < 8 {
+                    let src = (*clone_src as usize) % images.len();
+                    images.push(images[src].clone());
+                    models.push(models[src].clone());
+                }
+                let tgt = (*write_tgt as usize) % images.len();
+                images[tgt].write(PhysAddr::new(*addr), data).unwrap();
+                models[tgt][*addr as usize..*addr as usize + data.len()]
+                    .copy_from_slice(data);
+            }
+            for (image, model) in images.iter().zip(&models) {
+                let mut out = [0u8; PAGE_SIZE];
+                for frame in 0..FRAMES {
+                    image.read_frame(Mfn::new(frame as u64), &mut out).unwrap();
+                    prop_assert_eq!(
+                        &out[..], &model[frame * PAGE_SIZE..(frame + 1) * PAGE_SIZE],
+                        "chunk={} image diverged from flat reference", chunk_frames
+                    );
+                }
             }
         }
     }

@@ -12,7 +12,7 @@
 //!   such frames can never strand a stale entry.
 //! * **Invalidation rule** — [`MachineMemory`] bumps a page-table write
 //!   generation on every store to (or accounting mutation of) a
-//!   page-table-typed frame. The cache compares generations on every
+//!   page-table-typed frame. Each shard compares generations on every
 //!   lookup and flushes wholesale on mismatch. Data writes never flush;
 //!   PTE writes always do — including injector writes that corrupt a
 //!   PTE behind the hypervisor's back, which is what keeps the paper's
@@ -20,10 +20,17 @@
 //!   sees the corruption.
 //!
 //! Entries are keyed by `(CR3, VPN, size class, walk policy)` with
-//! separate probes for 4 KiB, 2 MiB and 1 GiB classes, direct-mapped
-//! into a small slot array. Cached superpage hits re-check that the
-//! reconstructed physical frame is installed, because different offsets
-//! inside one superpage can fall off the end of machine memory.
+//! separate probes for 4 KiB, 2 MiB and 1 GiB classes. Storage is
+//! **sharded and set-associative**: the key hashes to one of
+//! [`TLB_SHARDS`] independently locked shards, then to a set of
+//! [`TLB_WAYS`] ways inside it, so concurrent fills and misses on
+//! different shards never serialize on a single lock (the pre-sharding
+//! design funneled every probe through one `Mutex<Tlb>`). A fill into a
+//! set whose ways are all live evicts round-robin and counts a
+//! `fill_conflicts` — the set-pressure signal `BENCH_campaign.json`
+//! reports. Cached superpage hits re-check that the reconstructed
+//! physical frame is installed, because different offsets inside one
+//! superpage can fall off the end of machine memory.
 //!
 //! [`PageInfo`]: hvsim_mem::PageInfo
 
@@ -34,11 +41,17 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Direct-mapped slot count; must be a power of two.
-const TLB_SLOTS: usize = 256;
+/// Independently locked shards; must be a power of two.
+const TLB_SHARDS: usize = 8;
+/// Sets per shard; must be a power of two.
+const TLB_SETS: usize = 8;
+/// Ways per set. Total capacity stays at the pre-sharding 256 entries
+/// (8 shards × 8 sets × 4 ways).
+const TLB_WAYS: usize = 4;
 
 /// Hit/miss counters, reported per campaign cell and aggregated into the
-/// `tlb.hits` / `tlb.misses` observability counters.
+/// `tlb.hits` / `tlb.misses` / `tlb.fill_conflicts` observability
+/// counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbStats {
     /// Translations served from the cache.
@@ -46,6 +59,9 @@ pub struct TlbStats {
     /// Translations that fell through to a full walk while the cache was
     /// enabled (faulting walks included).
     pub misses: u64,
+    /// Fills that evicted a live entry because every way in the target
+    /// set was occupied.
+    pub fill_conflicts: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +78,15 @@ struct TlbEntry {
     /// The visited steps, for exact [`Translation`] reconstruction.
     steps: [WalkStep; 4],
     n_steps: u8,
+}
+
+impl TlbEntry {
+    fn matches(&self, cr3: Mfn, vpn: u64, level: MappingLevel, policy: &WalkPolicy) -> bool {
+        self.cr3 == cr3
+            && self.vpn == vpn
+            && self.level == level
+            && self.hardened == policy.forbid_writable_selfmap
+    }
 }
 
 impl MappingLevel {
@@ -89,22 +114,94 @@ impl MappingLevel {
 const PROBE_ORDER: [MappingLevel; 3] =
     [MappingLevel::Page4K, MappingLevel::Page2M, MappingLevel::Page1G];
 
+/// One independently locked slice of the cache: a small set-associative
+/// array plus the generation its entries were filled under.
 #[derive(Debug, Default)]
-struct Tlb {
+struct TlbShard {
     /// The [`MachineMemory::pt_generation`] the cached entries were
     /// filled under.
     gen: u64,
-    /// Lazily allocated so untouched clones cost nothing.
-    slots: Vec<Option<TlbEntry>>,
+    /// Round-robin eviction cursor; deterministic, so identical
+    /// single-threaded workloads produce identical stats.
+    tick: u64,
+    /// Lazily allocated (`TLB_SETS` sets of `TLB_WAYS` ways) so
+    /// untouched clones cost nothing.
+    sets: Vec<[Option<TlbEntry>; TLB_WAYS]>,
+}
+
+impl TlbShard {
+    fn flush(&mut self) {
+        for set in &mut self.sets {
+            *set = [None; TLB_WAYS];
+        }
+    }
+
+    /// Flushes if the page-table write generation moved since the last
+    /// fill into this shard.
+    fn sync_generation(&mut self, mem: &MachineMemory) {
+        let gen = mem.pt_generation();
+        if gen != self.gen {
+            self.flush();
+            self.gen = gen;
+        }
+    }
+
+    /// Finds the way holding `(cr3, vpn, level, policy)` in `set`, if
+    /// cached.
+    fn find(
+        &self,
+        set: usize,
+        cr3: Mfn,
+        vpn: u64,
+        level: MappingLevel,
+        policy: &WalkPolicy,
+    ) -> Option<&TlbEntry> {
+        self.sets
+            .get(set)?
+            .iter()
+            .flatten()
+            .find(|e| e.matches(cr3, vpn, level, policy))
+    }
+
+    /// Caches a cacheable walk into `set`, evicting round-robin if every
+    /// way is live. Returns whether a live entry was evicted.
+    fn insert(&mut self, set: usize, entry: TlbEntry) -> bool {
+        if self.sets.is_empty() {
+            self.sets.resize_with(TLB_SETS, || [None; TLB_WAYS]);
+        }
+        let ways = &mut self.sets[set];
+        let way = ways
+            .iter()
+            .position(|w| {
+                w.as_ref().is_some_and(|e| {
+                    e.cr3 == entry.cr3
+                        && e.vpn == entry.vpn
+                        && e.level == entry.level
+                        && e.hardened == entry.hardened
+                })
+            })
+            .or_else(|| ways.iter().position(Option::is_none));
+        let (way, evicted) = match way {
+            Some(w) => (w, false),
+            None => {
+                let victim = (self.tick as usize) % TLB_WAYS;
+                self.tick = self.tick.wrapping_add(1);
+                (victim, true)
+            }
+        };
+        ways[way] = Some(entry);
+        evicted
+    }
 }
 
 /// A lock-free single-entry front cache (the "L0") for the phys-only
 /// fast path: one seqlocked record of the most recent cacheable
-/// translation. Readers never take the mutex; writers (fills and
-/// flushes) are already serialized by the main TLB lock. An entry is
-/// valid only when the stored page-table generation still equals the
-/// memory's current one, so PTE writes invalidate it for free — no
-/// explicit shootdown.
+/// translation. Readers never take a lock; writers race only through a
+/// compare-exchange on the sequence word, so a contended fill is simply
+/// skipped (the L0 is opportunistic — correctness lives in the
+/// generation check). An entry is valid only when the stored page-table
+/// generation still equals the memory's current one, so PTE writes
+/// invalidate it for free — no explicit shootdown.
 #[derive(Debug)]
 struct L0Cache {
     /// Seqlock word: even = stable, odd = write in progress.
@@ -156,21 +253,38 @@ impl L0Cache {
         }
     }
 
-    /// Seqlock write; callers must hold the main TLB mutex so writers
-    /// never race each other.
-    fn store(&self, vpn: u64, meta: u64, base: u64, gen: u64) {
+    /// Opportunistic seqlock write: with sharded fills there is no
+    /// single lock serializing writers, so a writer claims the sequence
+    /// word with a compare-exchange and simply skips the fill if another
+    /// writer holds it — dropping an L0 mirror is always safe.
+    fn try_store(&self, vpn: u64, meta: u64, base: u64, gen: u64) -> bool {
         let s = self.seq.load(Ordering::Relaxed);
-        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        if s & 1 != 0 {
+            return false;
+        }
+        if self
+            .seq
+            .compare_exchange(s, s.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
         fence(Ordering::Release);
         self.vpn.store(vpn, Ordering::Relaxed);
         self.meta.store(meta, Ordering::Relaxed);
         self.base.store(base, Ordering::Relaxed);
         self.gen.store(gen, Ordering::Relaxed);
         self.seq.store(s.wrapping_add(2), Ordering::Release);
+        true
     }
 
+    /// Clearing must not be dropped the way an opportunistic fill can
+    /// be: spin until the write lands (uncontended in practice — fills
+    /// are nearly instantaneous).
     fn clear(&self) {
-        self.store(u64::MAX, L0_EMPTY_META, 0, u64::MAX);
+        while !self.try_store(u64::MAX, L0_EMPTY_META, 0, u64::MAX) {
+            std::hint::spin_loop();
+        }
     }
 
     /// Lock-free probe: a consistent, generation-current, key-matching
@@ -211,104 +325,6 @@ impl L0Cache {
     }
 }
 
-impl Tlb {
-    fn slot_index(cr3: Mfn, vpn: u64, level: MappingLevel) -> usize {
-        let h = (vpn ^ level.class_salt())
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(cr3.raw().rotate_left(17));
-        ((h >> 40) as usize) & (TLB_SLOTS - 1)
-    }
-
-    fn flush(&mut self) {
-        for slot in &mut self.slots {
-            *slot = None;
-        }
-    }
-
-    /// Flushes if the page-table write generation moved since the last
-    /// fill.
-    fn sync_generation(&mut self, mem: &MachineMemory) {
-        let gen = mem.pt_generation();
-        if gen != self.gen {
-            self.flush();
-            self.gen = gen;
-        }
-    }
-
-    /// Probes all size classes for `va`; returns the matching slot index
-    /// and the reconstructed physical address (no entry copy — the hot
-    /// path only needs the address). Superpage reconstruction
-    /// re-validates that the physical frame is installed.
-    fn probe(
-        &self,
-        mem: &MachineMemory,
-        cr3: Mfn,
-        va: VirtAddr,
-        policy: &WalkPolicy,
-    ) -> Option<(usize, PhysAddr)> {
-        if self.slots.is_empty() {
-            return None;
-        }
-        for level in PROBE_ORDER {
-            let vpn = va.raw() >> level.page_shift();
-            let idx = Self::slot_index(cr3, vpn, level);
-            if let Some(entry) = &self.slots[idx] {
-                if entry.cr3 == cr3
-                    && entry.vpn == vpn
-                    && entry.level == level
-                    && entry.hardened == policy.forbid_writable_selfmap
-                {
-                    let phys = entry.base.base().offset(va.raw() & level.offset_mask());
-                    if mem.contains(phys.frame()) {
-                        return Some((idx, phys));
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    /// Caches a successful walk — but only if every visited table frame
-    /// is page-table-typed, so the generation counter is guaranteed to
-    /// cover every byte the walk depended on. Returns the filled slot
-    /// index so the caller can mirror the entry into the L0 front cache.
-    fn insert(
-        &mut self,
-        mem: &MachineMemory,
-        t: &Translation,
-        policy: &WalkPolicy,
-    ) -> Option<usize> {
-        let all_typed = t.steps.iter().all(|s| {
-            mem.info(s.table)
-                .map(|i| i.page_type().is_page_table())
-                .unwrap_or(false)
-        });
-        if !all_typed || t.steps.is_empty() || t.steps.len() > 4 {
-            return None;
-        }
-        if self.slots.is_empty() {
-            self.slots.resize_with(TLB_SLOTS, || None);
-        }
-        let mut steps = [t.steps[0]; 4];
-        steps[..t.steps.len()].copy_from_slice(&t.steps);
-        let vpn = t.va.raw() >> t.level.page_shift();
-        let idx = Self::slot_index(t.cr3_frame(), vpn, t.level);
-        self.slots[idx] = Some(TlbEntry {
-            cr3: t.cr3_frame(),
-            vpn,
-            hardened: policy.forbid_writable_selfmap,
-            level: t.level,
-            // The leaf entry's frame: the walk computes superpage
-            // physical addresses relative to it, and the model does not
-            // require it to be superpage-aligned.
-            base: t.steps[t.steps.len() - 1].entry.mfn(),
-            steps,
-            n_steps: t.steps.len() as u8,
-        });
-        Some(idx)
-    }
-}
-
 impl Translation {
     /// The root table frame this translation started from (the first
     /// step's table).
@@ -323,19 +339,22 @@ impl Translation {
 /// and zeroed [`TlbStats`] — caches are semantically transparent, and
 /// per-cell statistics must start from zero in each snapshot.
 ///
-/// Internally this is two tiers: a mutex-protected direct-mapped slot
-/// array (the "L1", serving [`SharedTlb::translate`] with full step
-/// reconstruction) fronted by a lock-free seqlocked single entry (the
-/// "L0") that serves repeated [`SharedTlb::phys_of`] resolutions of the
-/// same page without ever touching the mutex. Hit/miss counters and the
-/// enable flag are atomics so the fast path stays lock-free.
+/// Internally this is two tiers: a sharded set-associative array (the
+/// "L1", serving [`SharedTlb::translate`] with full step
+/// reconstruction; each shard behind its own lock so concurrent fills
+/// and misses stop serializing) fronted by a lock-free seqlocked single
+/// entry (the "L0") that serves repeated [`SharedTlb::phys_of`]
+/// resolutions of the same page without touching any shard. Hit/miss/
+/// conflict counters and the enable flag are atomics so the fast path
+/// stays lock-free.
 #[derive(Debug)]
 pub struct SharedTlb {
-    inner: Mutex<Tlb>,
+    shards: Vec<Mutex<TlbShard>>,
     l0: L0Cache,
     enabled: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
+    fill_conflicts: AtomicU64,
 }
 
 impl Clone for SharedTlb {
@@ -354,24 +373,36 @@ impl SharedTlb {
     /// Creates an empty TLB.
     pub fn new(enabled: bool) -> Self {
         Self {
-            inner: Mutex::new(Tlb::default()),
+            shards: (0..TLB_SHARDS).map(|_| Mutex::new(TlbShard::default())).collect(),
             l0: L0Cache::empty(),
             enabled: AtomicBool::new(enabled),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fill_conflicts: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Tlb> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Hashes a lookup key to `(shard, set)`. Shard and set use disjoint
+    /// bits of one multiplicative hash so related VPNs spread across
+    /// both dimensions.
+    fn locate(cr3: Mfn, vpn: u64, level: MappingLevel) -> (usize, usize) {
+        let h = (vpn ^ level.class_salt())
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(cr3.raw().rotate_left(17));
+        let shard = ((h >> 40) as usize) & (TLB_SHARDS - 1);
+        let set = ((h >> 48) as usize) & (TLB_SETS - 1);
+        (shard, set)
+    }
+
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, TlbShard> {
+        self.shards[shard].lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Mirrors a freshly probed/inserted L1 entry into the L0 front
-    /// cache. Callers hold the mutex, which is what serializes seqlock
-    /// writers.
+    /// cache (best effort — see [`L0Cache::try_store`]).
     fn l0_fill(&self, entry: &TlbEntry, gen: u64) {
         if let Some(meta) = L0Cache::pack_meta(entry.cr3, entry.level, entry.hardened) {
-            self.l0.store(entry.vpn, meta, entry.base.raw(), gen);
+            self.l0.try_store(entry.vpn, meta, entry.base.raw(), gen);
         }
     }
 
@@ -383,28 +414,94 @@ impl SharedTlb {
     /// Enables or disables the cache. Disabling flushes, so re-enabling
     /// never resurrects entries filled before the toggle.
     pub fn set_enabled(&self, enabled: bool) {
-        let mut tlb = self.lock();
         self.enabled.store(enabled, Ordering::Relaxed);
         if !enabled {
-            tlb.flush();
-            self.l0.clear();
+            self.flush();
         }
     }
 
     /// Drops every cached entry (statistics are kept).
     pub fn flush(&self) {
-        let mut tlb = self.lock();
-        tlb.flush();
+        for shard in 0..TLB_SHARDS {
+            self.lock_shard(shard).flush();
+        }
         self.l0.clear();
     }
 
-    /// Hit/miss counters accumulated since creation (or since this TLB
-    /// was cloned from another).
+    /// Hit/miss/conflict counters accumulated since creation (or since
+    /// this TLB was cloned from another).
     pub fn stats(&self) -> TlbStats {
         TlbStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            fill_conflicts: self.fill_conflicts.load(Ordering::Relaxed),
         }
+    }
+
+    /// Probes all size classes for `va`, locking only the shard each
+    /// class hashes to. A hit returns a copy of the entry (entries are
+    /// tiny) plus the shard's generation for the L0 mirror. Superpage
+    /// reconstruction re-validates that the physical frame is installed.
+    fn probe(
+        &self,
+        mem: &MachineMemory,
+        cr3: Mfn,
+        va: VirtAddr,
+        policy: &WalkPolicy,
+    ) -> Option<(TlbEntry, PhysAddr, u64)> {
+        for level in PROBE_ORDER {
+            let vpn = va.raw() >> level.page_shift();
+            let (shard_idx, set) = Self::locate(cr3, vpn, level);
+            let mut shard = self.lock_shard(shard_idx);
+            shard.sync_generation(mem);
+            if let Some(entry) = shard.find(set, cr3, vpn, level, policy) {
+                let phys = entry.base.base().offset(va.raw() & level.offset_mask());
+                if mem.contains(phys.frame()) {
+                    return Some((*entry, phys, shard.gen));
+                }
+            }
+        }
+        None
+    }
+
+    /// Caches a successful walk — but only if every visited table frame
+    /// is page-table-typed, so the generation counter is guaranteed to
+    /// cover every byte the walk depended on. Mirrors the fill into the
+    /// L0 front cache.
+    fn fill(&self, mem: &MachineMemory, t: &Translation, policy: &WalkPolicy) {
+        let all_typed = t.steps.iter().all(|s| {
+            mem.info(s.table)
+                .map(|i| i.page_type().is_page_table())
+                .unwrap_or(false)
+        });
+        if !all_typed || t.steps.is_empty() || t.steps.len() > 4 {
+            return;
+        }
+        let mut steps = [t.steps[0]; 4];
+        steps[..t.steps.len()].copy_from_slice(&t.steps);
+        let vpn = t.va.raw() >> t.level.page_shift();
+        let entry = TlbEntry {
+            cr3: t.cr3_frame(),
+            vpn,
+            hardened: policy.forbid_writable_selfmap,
+            level: t.level,
+            // The leaf entry's frame: the walk computes superpage
+            // physical addresses relative to it, and the model does not
+            // require it to be superpage-aligned.
+            base: t.steps[t.steps.len() - 1].entry.mfn(),
+            steps,
+            n_steps: t.steps.len() as u8,
+        };
+        let (shard_idx, set) = Self::locate(entry.cr3, vpn, t.level);
+        let mut shard = self.lock_shard(shard_idx);
+        shard.sync_generation(mem);
+        let gen = shard.gen;
+        let evicted = shard.insert(set, entry);
+        drop(shard);
+        if evicted {
+            self.fill_conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.l0_fill(&entry, gen);
     }
 
     /// Translates `va` like [`walk`], consulting and filling the cache.
@@ -423,12 +520,9 @@ impl SharedTlb {
         if !self.is_enabled() {
             return walk(mem, cr3, va, policy);
         }
-        let mut tlb = self.lock();
-        tlb.sync_generation(mem);
-        if let Some((idx, phys)) = tlb.probe(mem, cr3, va, policy) {
+        if let Some((entry, phys, gen)) = self.probe(mem, cr3, va, policy) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            let entry = tlb.slots[idx].as_ref().expect("probe returned a filled slot");
-            self.l0_fill(entry, tlb.gen);
+            self.l0_fill(&entry, gen);
             return Ok(Translation {
                 va,
                 mfn: phys.frame(),
@@ -439,12 +533,7 @@ impl SharedTlb {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let t = walk(mem, cr3, va, policy)?;
-        if let Some(idx) = tlb.insert(mem, &t, policy) {
-            let gen = tlb.gen;
-            if let Some(entry) = &tlb.slots[idx] {
-                self.l0_fill(entry, gen);
-            }
-        }
+        self.fill(mem, &t, policy);
         Ok(t)
     }
 
@@ -466,28 +555,20 @@ impl SharedTlb {
             return walk(mem, cr3, va, policy).map(|t| t.phys);
         }
         // Lock-free front cache: repeated resolutions of the same page
-        // never touch the mutex. The generation check makes stale
+        // never touch a shard lock. The generation check makes stale
         // entries (any PTE write since the fill) miss automatically.
         if let Some(phys) = self.l0.probe(mem, cr3, va, policy) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(phys);
         }
-        let mut tlb = self.lock();
-        tlb.sync_generation(mem);
-        if let Some((idx, phys)) = tlb.probe(mem, cr3, va, policy) {
+        if let Some((entry, phys, gen)) = self.probe(mem, cr3, va, policy) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            let entry = tlb.slots[idx].as_ref().expect("probe returned a filled slot");
-            self.l0_fill(entry, tlb.gen);
+            self.l0_fill(&entry, gen);
             return Ok(phys);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let t = walk(mem, cr3, va, policy)?;
-        if let Some(idx) = tlb.insert(mem, &t, policy) {
-            let gen = tlb.gen;
-            if let Some(entry) = &tlb.slots[idx] {
-                self.l0_fill(entry, gen);
-            }
-        }
+        self.fill(mem, &t, policy);
         Ok(t.phys)
     }
 
@@ -500,19 +581,29 @@ impl SharedTlb {
         if !self.is_enabled() {
             return None;
         }
-        let mut tlb = self.lock();
-        tlb.sync_generation(mem);
         let vpn = va.raw() >> MappingLevel::Page4K.page_shift();
-        let idx = Tlb::slot_index(cr3, vpn, MappingLevel::Page4K);
-        let entry = tlb.slots.get(idx).copied().flatten()?;
-        if entry.cr3 != cr3 || entry.vpn != vpn || entry.level != MappingLevel::Page4K {
-            return None;
-        }
+        let (shard_idx, set) = Self::locate(cr3, vpn, MappingLevel::Page4K);
+        let mut shard = self.lock_shard(shard_idx);
+        shard.sync_generation(mem);
+        let policy_any = WalkPolicy::default();
+        // The slot location is policy-independent (both policy variants
+        // walk the same tables), so accept an entry under either policy.
+        let entry = shard.find(set, cr3, vpn, MappingLevel::Page4K, &policy_any).or_else(|| {
+            shard.find(
+                set,
+                cr3,
+                vpn,
+                MappingLevel::Page4K,
+                &WalkPolicy { forbid_writable_selfmap: true },
+            )
+        })?;
         let l1 = entry.steps[..entry.n_steps as usize]
             .iter()
             .find(|s| s.level == 1)?;
+        let slot = l1.table.base().offset(l1.index as u64 * 8);
+        drop(shard);
         self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(l1.table.base().offset(l1.index as u64 * 8))
+        Some(slot)
     }
 }
 
@@ -532,8 +623,12 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
+            Self::with_frames(64)
+        }
+
+        fn with_frames(frames: usize) -> Self {
             Self {
-                mem: MachineMemory::new(64),
+                mem: MachineMemory::new(frames),
                 cr3: Mfn::new(1),
                 next_free: 2,
             }
@@ -574,6 +669,10 @@ mod tests {
         }
     }
 
+    fn stats(hits: u64, misses: u64) -> TlbStats {
+        TlbStats { hits, misses, fill_conflicts: 0 }
+    }
+
     #[test]
     fn hit_reproduces_the_walk_exactly() {
         let mut h = Harness::new();
@@ -586,7 +685,7 @@ mod tests {
         let raw = walk(&h.mem, h.cr3, va, &policy).unwrap();
         assert_eq!(miss, raw);
         assert_eq!(hit, raw, "a cached translation must be indistinguishable");
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+        assert_eq!(tlb.stats(), stats(1, 1));
         // Another offset in the same page also hits.
         let other = tlb
             .translate(&h.mem, h.cr3, VirtAddr::new(0x40_0000_1010), &policy)
@@ -623,7 +722,7 @@ mod tests {
         tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
         h.mem.write_u64(Mfn::new(50).base(), 0x4141).unwrap();
         tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+        assert_eq!(tlb.stats(), stats(1, 1));
     }
 
     #[test]
@@ -642,7 +741,7 @@ mod tests {
         tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
         assert_eq!(
             tlb.stats(),
-            TlbStats { hits: 0, misses: 2 },
+            stats(0, 2),
             "walks through non-page-table frames must not be cached"
         );
     }
@@ -747,7 +846,7 @@ mod tests {
         let p2 = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
         assert_eq!(p1, Mfn::new(50).base().offset(0xabc));
         assert_eq!(p1, p2);
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+        assert_eq!(tlb.stats(), stats(1, 1));
     }
 
     #[test]
@@ -761,18 +860,161 @@ mod tests {
         tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
         let hit = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
         assert_eq!(hit, Mfn::new(50).base().offset(0xabc));
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1 });
+        assert_eq!(tlb.stats(), stats(1, 1));
         // An injector-style PTE write behind the TLB's back bumps the
         // page-table generation; the L0 entry must miss, not serve the
         // stale frame.
         h.write_entry(l1, l1_idx, PageTableEntry::new(Mfn::new(51), LINK));
         let after = tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
         assert_eq!(after, Mfn::new(51).base().offset(0xabc));
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 2 });
+        assert_eq!(tlb.stats(), stats(1, 2));
         // flush() also kills the front cache.
         tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
         tlb.flush();
         tlb.phys_of(&h.mem, h.cr3, va, &policy).unwrap();
         assert_eq!(tlb.stats().misses, 3, "flush must clear the L0 too");
+    }
+
+    /// Many distinct pages under one CR3: every one must be cached and
+    /// hit on re-translation (set-associativity actually spreads the
+    /// working set), and the stats must stay deterministic.
+    #[test]
+    fn sharded_cache_holds_a_multi_page_working_set() {
+        let mut h = Harness::with_frames(512);
+        h.type_table(h.cr3, 4);
+        // One L4->L3->L2 spine, then 64 L1 entries mapping 64 pages.
+        let base_va = 0x40_0000_0000u64; // l4=0 is fine; use l4 idx from VA
+        let idx = VaIndices::of(VirtAddr::new(base_va));
+        let l3 = h.fresh(3);
+        let l2 = h.fresh(2);
+        let l1 = h.fresh(1);
+        h.write_entry(h.cr3, idx.l4, PageTableEntry::new(l3, LINK));
+        h.write_entry(l3, idx.l3, PageTableEntry::new(l2, LINK));
+        h.write_entry(l2, idx.l2, PageTableEntry::new(l1, LINK));
+        for i in 0..64usize {
+            h.write_entry(l1, i, PageTableEntry::new(Mfn::new(100 + i as u64), LINK));
+        }
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        for i in 0..64u64 {
+            let va = VirtAddr::new(base_va + i * 4096);
+            let t = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+            assert_eq!(t.mfn, Mfn::new(100 + i));
+        }
+        assert_eq!(tlb.stats().misses, 64);
+        let after_fill = tlb.stats();
+        for i in 0..64u64 {
+            let va = VirtAddr::new(base_va + i * 4096 + 0x123);
+            let t = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+            assert_eq!(t.mfn, Mfn::new(100 + i));
+            assert_eq!(t, walk(&h.mem, h.cr3, va, &policy).unwrap());
+        }
+        let after_probe = tlb.stats();
+        assert_eq!(
+            after_probe.misses, after_fill.misses,
+            "a 64-page working set fits without evictions (256-entry capacity)"
+        );
+        assert_eq!(after_probe.hits, after_fill.hits + 64);
+        // Deterministic: the same sequence on a fresh TLB reproduces the
+        // exact same counters, conflicts included.
+        let tlb2 = SharedTlb::new(true);
+        for round in 0..2 {
+            for i in 0..64u64 {
+                let off = if round == 0 { 0 } else { 0x123 };
+                let va = VirtAddr::new(base_va + i * 4096 + off);
+                tlb2.translate(&h.mem, h.cr3, va, &policy).unwrap();
+            }
+        }
+        assert_eq!(tlb2.stats(), after_probe);
+    }
+
+    /// Overflow a single set until fills must evict: the conflict
+    /// counter moves, and evicted entries simply re-walk (correctness is
+    /// untouched by set pressure).
+    #[test]
+    fn set_conflicts_evict_deterministically_and_stay_correct() {
+        let mut h = Harness::with_frames(4096);
+        h.type_table(h.cr3, 4);
+        let base_va = 0x40_0000_0000u64;
+        let idx = VaIndices::of(VirtAddr::new(base_va));
+        let l3 = h.fresh(3);
+        let l2 = h.fresh(2);
+        let l1 = h.fresh(1);
+        h.write_entry(h.cr3, idx.l4, PageTableEntry::new(l3, LINK));
+        h.write_entry(l3, idx.l3, PageTableEntry::new(l2, LINK));
+        h.write_entry(l2, idx.l2, PageTableEntry::new(l1, LINK));
+        for i in 0..512usize {
+            h.write_entry(l1, i, PageTableEntry::new(Mfn::new(1024 + i as u64), LINK));
+        }
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        // 512 pages through 256 entries (64 sets × 4 ways): some set
+        // must overflow.
+        for i in 0..512u64 {
+            let va = VirtAddr::new(base_va + i * 4096);
+            let t = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+            assert_eq!(t.mfn, Mfn::new(1024 + i));
+        }
+        let s = tlb.stats();
+        assert!(s.fill_conflicts > 0, "512 fills into 256 entries must conflict");
+        assert_eq!(s.misses, 512);
+        // Re-translating everything is still exact, evicted or not.
+        for i in 0..512u64 {
+            let va = VirtAddr::new(base_va + i * 4096 + 0xf);
+            let t = tlb.translate(&h.mem, h.cr3, va, &policy).unwrap();
+            assert_eq!(t.phys, Mfn::new(1024 + i).base().offset(0xf));
+        }
+        // And the whole sequence is reproducible, conflicts included.
+        let tlb2 = SharedTlb::new(true);
+        for round in 0..2 {
+            for i in 0..512u64 {
+                let off = if round == 0 { 0 } else { 0xf };
+                let va = VirtAddr::new(base_va + i * 4096 + off);
+                tlb2.translate(&h.mem, h.cr3, va, &policy).unwrap();
+            }
+        }
+        assert_eq!(tlb2.stats(), tlb.stats());
+    }
+
+    /// Concurrent translations through one shared TLB: every thread must
+    /// see exact translations (the shards and the opportunistic L0 can
+    /// drop fills but never serve wrong data).
+    #[test]
+    fn concurrent_probes_and_fills_stay_exact() {
+        let mut h = Harness::with_frames(512);
+        h.type_table(h.cr3, 4);
+        let base_va = 0x40_0000_0000u64;
+        let idx = VaIndices::of(VirtAddr::new(base_va));
+        let l3 = h.fresh(3);
+        let l2 = h.fresh(2);
+        let l1 = h.fresh(1);
+        h.write_entry(h.cr3, idx.l4, PageTableEntry::new(l3, LINK));
+        h.write_entry(l3, idx.l3, PageTableEntry::new(l2, LINK));
+        h.write_entry(l2, idx.l2, PageTableEntry::new(l1, LINK));
+        for i in 0..64usize {
+            h.write_entry(l1, i, PageTableEntry::new(Mfn::new(100 + i as u64), LINK));
+        }
+        let tlb = SharedTlb::new(true);
+        let policy = WalkPolicy::default();
+        let cr3 = h.cr3;
+        let mem = &h.mem;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let tlb = &tlb;
+                let policy = &policy;
+                scope.spawn(move || {
+                    for round in 0..50u64 {
+                        for i in 0..64u64 {
+                            let page = (i + t * 7 + round) % 64;
+                            let va = VirtAddr::new(base_va + page * 4096 + (t * 8));
+                            let got = tlb.phys_of(mem, cr3, va, policy).unwrap();
+                            assert_eq!(got, Mfn::new(100 + page).base().offset(t * 8));
+                        }
+                    }
+                });
+            }
+        });
+        let s = tlb.stats();
+        assert_eq!(s.hits + s.misses, 4 * 50 * 64, "every translation is counted");
     }
 }
